@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks for the planner and its substrates.
+//!
+//! * `alg2` — the O(log k) binary search vs. the linear-scan reference.
+//! * `johnson` — Johnson's rule over growing job counts.
+//! * `jps_plan` — full JPS decision per evaluated model (the Fig. 12(d)
+//!   overhead measured rigorously).
+//! * `brute_force` — the exact joint optimum for small n (why BF cannot
+//!   scale, motivating the paper's algorithm).
+//! * `simulation` — DES vs. the threaded executor on a 100-job plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mcdnn::prelude::*;
+use mcdnn_partition::{binary_search_cut, brute_force_plan, jps_plan};
+use mcdnn_sim::{run_pipeline, simulate, DesConfig};
+
+fn profile_for(model: Model) -> CostProfile {
+    Scenario::paper_default(model, NetworkModel::wifi())
+        .profile()
+        .clone()
+}
+
+fn bench_alg2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2");
+    let profile = profile_for(Model::AlexNet);
+    group.bench_function("binary_search", |b| {
+        b.iter(|| binary_search_cut(black_box(&profile)))
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| black_box(&profile).l_star_linear())
+    });
+    group.finish();
+}
+
+fn bench_johnson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("johnson");
+    let profile = profile_for(Model::AlexNet);
+    for n in [10usize, 100, 1000] {
+        let plan = jps_plan(&profile, n);
+        let jobs = plan.jobs(&profile);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| johnson_order(black_box(jobs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_jps_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jps_plan_n100");
+    for model in Model::EVALUATED {
+        let profile = profile_for(model);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &profile,
+            |b, p| b.iter(|| jps_plan(black_box(p), 100)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force");
+    group.sample_size(10);
+    let profile = profile_for(Model::AlexNet);
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| brute_force_plan(black_box(&profile), n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_n100");
+    let profile = profile_for(Model::AlexNet);
+    let plan = jps_plan(&profile, 100);
+    let jobs = plan.jobs(&profile);
+    let order = plan.order.clone();
+    group.bench_function("des", |b| {
+        b.iter(|| simulate(black_box(&jobs), black_box(&order), &DesConfig::default()))
+    });
+    group.bench_function("threaded_executor_logical", |b| {
+        b.iter(|| {
+            run_pipeline(
+                black_box(&jobs),
+                black_box(&order),
+                &ExecutorConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions_n50");
+    let alexnet = profile_for(Model::AlexNet);
+    let mobilenet = profile_for(Model::MobileNetV2);
+
+    group.bench_function("hetero_two_groups", |b| {
+        let groups = [
+            mcdnn_partition::JobGroup {
+                profile: alexnet.clone(),
+                count: 25,
+            },
+            mcdnn_partition::JobGroup {
+                profile: mobilenet.clone(),
+                count: 25,
+            },
+        ];
+        b.iter(|| mcdnn_partition::hetero_jps_plan(black_box(&groups)))
+    });
+    group.bench_function("multichannel_c2", |b| {
+        b.iter(|| mcdnn_partition::multichannel_jps_plan(black_box(&alexnet), 50, 2))
+    });
+    group.bench_function("edge_aware", |b| {
+        b.iter(|| mcdnn_partition::edge_jps_plan(black_box(&alexnet), 50))
+    });
+    group.bench_function("energy_pareto_front", |b| {
+        let energy = mcdnn_profile::EnergyModel::raspberry_pi4_wifi();
+        b.iter(|| mcdnn_partition::pareto_front(black_box(&alexnet), 50, &energy))
+    });
+    group.finish();
+}
+
+fn bench_three_stage_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("three_stage_order");
+    let profile = profile_for(Model::AlexNet);
+    let plan = jps_plan(&profile, 50);
+    let jobs: Vec<FlowJob> = plan
+        .jobs(&profile)
+        .iter()
+        .map(|j| FlowJob::three_stage(j.id, j.compute_ms, j.comm_ms, j.comm_ms * 0.4))
+        .collect();
+    group.bench_function("cds", |b| {
+        b.iter(|| mcdnn_flowshop::cds_order(black_box(&jobs)))
+    });
+    group.bench_function("neh_n50", |b| {
+        b.iter(|| mcdnn_flowshop::neh_order(black_box(&jobs)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alg2,
+    bench_johnson,
+    bench_jps_plan,
+    bench_brute_force,
+    bench_simulation,
+    bench_extensions,
+    bench_three_stage_orders
+);
+criterion_main!(benches);

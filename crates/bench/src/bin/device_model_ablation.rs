@@ -1,0 +1,66 @@
+//! Ablation: pure-FLOP device model vs realistic per-layer-class
+//! weighting (depthwise 12×, memory-bound 2×).
+//!
+//! EXPERIMENTS.md notes one deviation from the paper's Table 1: their
+//! PyTorch-on-Pi MobileNet gains more from offloading at 3G than our
+//! FLOP-linear model predicts, because real ARM inference executes
+//! depthwise convolutions far below dense-conv throughput (inflating
+//! their local-only baseline). This ablation re-runs the Table 1 cells
+//! under the realistic weighting to show the deviation is a device-
+//! model effect, not an algorithmic one.
+
+use mcdnn::prelude::*;
+use mcdnn_bench::banner;
+use mcdnn_partition::{jps_plan, local_only_plan, partition_only_plan};
+
+fn reductions(line: mcdnn_graph::LineDnn, net: NetworkModel, n: usize) -> (f64, f64, f64) {
+    let profile = CostProfile::evaluate(
+        &line,
+        &DeviceModel::raspberry_pi4(),
+        &net,
+        &CloudModel::Device(DeviceModel::cloud_gtx1080()),
+    );
+    let lo = local_only_plan(&profile, n).makespan_ms;
+    let po = partition_only_plan(&profile, n).makespan_ms;
+    let jps = jps_plan(&profile, n).makespan_ms;
+    (
+        lo,
+        ((1.0 - po / lo) * 100.0).max(0.0),
+        ((1.0 - jps / lo) * 100.0).max(0.0),
+    )
+}
+
+fn main() {
+    banner(
+        "Ablation 5 (device model: pure FLOPs vs per-class weighting)",
+        "the MobileNet-at-3G deviation from Table 1 closes under realistic weights",
+    );
+
+    let n = 100;
+    println!("| model | net | device model | LO (ms/job) | PO red. % | JPS red. % |");
+    println!("|---|---|---|---|---|---|");
+    for model in [Model::MobileNetV2, Model::AlexNet] {
+        for (label, net) in [
+            ("3G", NetworkModel::three_g()),
+            ("4G", NetworkModel::four_g()),
+        ] {
+            for (dm, line) in [
+                ("pure-FLOP", model.line().expect("zoo")),
+                ("realistic", model.line_realistic().expect("zoo")),
+            ] {
+                let (lo, po, jps) = reductions(line, net, n);
+                println!(
+                    "| {model} | {label} | {dm} | {:.0} | {po:.2} | {jps:.2} |",
+                    lo / n as f64
+                );
+            }
+        }
+    }
+    println!(
+        "\npaper Table 1 reference: MobileNet 3G PO 27.60 / JPS 56.73; \
+         4G PO 60.00 / JPS 78.83.\n\
+         reading: under the realistic weighting MobileNet's LO baseline \
+         inflates ~2×, offloading becomes profitable even at 3G, and the \
+         PO/JPS reductions move toward the paper's measured cells."
+    );
+}

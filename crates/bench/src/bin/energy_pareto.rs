@@ -1,0 +1,59 @@
+//! Extension experiment: the latency/energy Pareto front of partition
+//! plans. Shows the battery cost of the latency-optimal JPS plan and
+//! how much energy a small latency concession buys.
+
+use mcdnn::prelude::*;
+use mcdnn_bench::{banner, fmt_ms};
+use mcdnn_partition::{min_energy_plan, pareto_front};
+use mcdnn_profile::EnergyModel;
+
+fn main() {
+    banner(
+        "Extension (latency/energy Pareto front)",
+        "a small latency concession can buy a large radio/CPU energy saving",
+    );
+
+    let n = 50;
+    // Two radio profiles: Wi-Fi (TX cheaper than compute — offloading
+    // wins both objectives, front collapses) vs long-range cellular
+    // (power amplifier dominates — real latency/energy trade-off).
+    let radios = [
+        ("wifi-radio", EnergyModel::raspberry_pi4_wifi()),
+        ("cellular-radio", EnergyModel::new(4.5, 7.0, 2.0)),
+    ];
+    for model in [Model::AlexNet, Model::MobileNetV2, Model::ResNet18] {
+        for (radio_label, energy) in &radios {
+            let (label, net) = ("4G", NetworkModel::four_g());
+            let s = Scenario::paper_default(model, net);
+            let front = pareto_front(s.profile(), n, energy);
+            println!("### {model} @ {label}, {radio_label}, n = {n}\n");
+            println!("| makespan (ms) | energy (J) | cuts used |");
+            println!("|---|---|---|");
+            for p in &front {
+                let mut cuts = p.plan.cuts.clone();
+                cuts.sort_unstable();
+                cuts.dedup();
+                println!(
+                    "| {} | {:.1} | {:?} |",
+                    fmt_ms(p.makespan_ms),
+                    p.energy_mj / 1e3,
+                    cuts
+                );
+            }
+            if front.len() >= 2 {
+                let fast = &front[0];
+                let budget = fast.makespan_ms * 1.10;
+                if let Some(relaxed) = min_energy_plan(s.profile(), n, energy, budget) {
+                    println!(
+                        "\n10% latency slack: {:.1} J -> {:.1} J ({:.0}% energy saved)\n",
+                        fast.energy_mj / 1e3,
+                        relaxed.energy_mj / 1e3,
+                        (1.0 - relaxed.energy_mj / fast.energy_mj) * 100.0
+                    );
+                }
+            } else {
+                println!("\n(front is a single point: latency and energy agree here)\n");
+            }
+        }
+    }
+}

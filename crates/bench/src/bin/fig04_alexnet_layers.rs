@@ -1,0 +1,46 @@
+//! Fig. 4 — per-layer time consumption of AlexNet: (a) cloud compute is
+//! negligible next to mobile compute and communication; (b) mobile time
+//! accumulates while communication volume trends downward.
+
+use mcdnn::experiment::layer_time_table;
+use mcdnn::prelude::*;
+use mcdnn_bench::{banner, fmt_ms};
+
+fn main() {
+    banner(
+        "Fig. 4 (AlexNet per-layer times)",
+        "cloud time negligible; f increasing, g decreasing in cut depth",
+    );
+
+    let rows = layer_time_table(Model::AlexNet, NetworkModel::wifi());
+    println!("| layer | block | mobile ms | comm ms (cut here) | cloud ms (rest) |");
+    println!("|---|---|---|---|---|");
+    let mut cum_mobile = 0.0;
+    for r in &rows {
+        cum_mobile += r.mobile_ms;
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            r.layer,
+            r.name,
+            fmt_ms(r.mobile_ms),
+            fmt_ms(r.comm_ms),
+            fmt_ms(r.cloud_ms),
+        );
+    }
+    println!("\ntotal mobile inference: {} ms", fmt_ms(cum_mobile));
+    let max_cloud = rows.iter().map(|r| r.cloud_ms).fold(0.0, f64::max);
+    let max_comm = rows
+        .iter()
+        .take(rows.len() - 1)
+        .map(|r| r.comm_ms)
+        .fold(0.0, f64::max);
+    assert!(
+        max_cloud < 0.05 * max_comm,
+        "cloud stage must be negligible (Fig. 4(a))"
+    );
+    println!(
+        "max cloud stage {} ms vs max comm stage {} ms -> cloud negligible",
+        fmt_ms(max_cloud),
+        fmt_ms(max_comm),
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 12(d) — JPS decision overhead: the planner (lookup table +
+//! regression + binary search + Johnson sort) is negligible next to the
+//! inference time it saves.
+
+use mcdnn::prelude::*;
+use mcdnn_bench::{banner, fmt_ms};
+
+fn main() {
+    banner(
+        "Fig. 12(d) (JPS overhead)",
+        "planning overhead is negligible compared with inference time",
+    );
+
+    let n = 100;
+    println!("| model | JPS decision (µs) | batch makespan (ms) | overhead / makespan |");
+    println!("|---|---|---|---|");
+    for model in Model::EVALUATED {
+        let scenario = Scenario::paper_default(model, NetworkModel::wifi());
+        // Warm up, then take the median of repeated timings.
+        let mut times: Vec<f64> = (0..51)
+            .map(|_| {
+                let t = scenario.plan_timed(Strategy::Jps, n);
+                t.decision_time.as_secs_f64() * 1e6
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let decision_us = times[times.len() / 2];
+        let makespan_ms = scenario.plan(Strategy::Jps, n).makespan_ms;
+        println!(
+            "| {model} | {decision_us:.1} | {} | {:.2e} |",
+            fmt_ms(makespan_ms),
+            decision_us / 1e3 / makespan_ms
+        );
+    }
+}

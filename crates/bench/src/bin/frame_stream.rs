@@ -1,0 +1,53 @@
+//! Extension experiment: periodic frame arrivals (release times).
+//!
+//! The paper assumes all `n` jobs available at time 0; a camera
+//! releases one frame per period. This experiment sweeps the frame
+//! rate and reports the stream makespan under release-aware list
+//! scheduling with JPS cuts, against the batch lower bound (all frames
+//! at t = 0) and the naive FIFO order.
+
+use mcdnn::prelude::*;
+use mcdnn_bench::{banner, fmt_ms};
+use mcdnn_flowshop::release::{list_schedule_with_releases, makespan_with_releases};
+use mcdnn_partition::jps_best_mix_plan;
+
+fn main() {
+    banner(
+        "Extension (periodic frame arrivals)",
+        "list scheduling with Johnson priorities absorbs bursty releases",
+    );
+
+    let n = 30;
+    let model = Model::MobileNetV2;
+    let s = Scenario::paper_default(model, NetworkModel::wifi());
+    let plan = jps_best_mix_plan(s.profile(), n);
+    let jobs = plan.jobs(s.profile());
+    let batch = plan.makespan_ms;
+
+    println!("{model} @ Wi-Fi, {n} frames, JPS* cuts fixed\n");
+    println!("| fps | period (ms) | stream makespan | FIFO makespan | batch bound | stream - last release |");
+    println!("|---|---|---|---|---|---|");
+    for fps in [240.0, 60.0, 30.0, 10.0, 5.0] {
+        let period = 1000.0 / fps;
+        let releases: Vec<f64> = (0..n).map(|i| i as f64 * period).collect();
+        let order = list_schedule_with_releases(&jobs, &releases);
+        let span = makespan_with_releases(&jobs, &order, &releases);
+        let fifo: Vec<usize> = (0..n).collect();
+        let fifo_span = makespan_with_releases(&jobs, &fifo, &releases);
+        let last_release = releases[n - 1];
+        println!(
+            "| {fps} | {period:.1} | {} | {} | {} | {} |",
+            fmt_ms(span),
+            fmt_ms(fifo_span),
+            fmt_ms(batch),
+            fmt_ms(span - last_release),
+        );
+        assert!(span >= batch - 1e-9, "releases cannot beat the batch bound");
+        assert!(span <= fifo_span + 1e-9, "list scheduling beats FIFO");
+    }
+    println!(
+        "\nreading: at high fps the stream behaves like the batch (pipeline \
+         saturated); at low fps the device drains each frame before the \
+         next arrives and the makespan tracks the last release."
+    );
+}

@@ -1,0 +1,52 @@
+//! Extension experiment (the paper's stated open problem):
+//! heterogeneous job batches — a detector plus a classifier per frame —
+//! planned jointly vs per-model.
+//!
+//! Joint planning wins twice: Johnson's rule interleaves the two
+//! models' stages across the shared CPU/uplink, and the cut choices
+//! coordinate (one model leans local while the other leans cloud).
+
+use mcdnn::prelude::*;
+use mcdnn_bench::{banner, fmt_ms};
+use mcdnn_partition::{hetero_jps_plan, jps_best_mix_plan, JobGroup};
+
+fn main() {
+    banner(
+        "Extension (heterogeneous batches)",
+        "joint planning beats per-model planning on shared CPU + uplink",
+    );
+
+    let cases: [(&str, Model, Model, usize, usize); 3] = [
+        ("detector+classifier", Model::TinyYoloV2, Model::MobileNetV2, 4, 4),
+        ("two classifiers", Model::AlexNet, Model::ResNet18, 6, 6),
+        ("lopsided", Model::MobileNetV2, Model::GoogLeNet, 10, 2),
+    ];
+
+    println!("| batch | net | per-model sum | joint hetero-JPS | gain |");
+    println!("|---|---|---|---|---|");
+    for (label, m1, m2, n1, n2) in cases {
+        for (net_label, net) in [("4G", NetworkModel::four_g()), ("Wi-Fi", NetworkModel::wifi())] {
+            let s1 = Scenario::paper_default(m1, net);
+            let s2 = Scenario::paper_default(m2, net);
+            let separate = jps_best_mix_plan(s1.profile(), n1).makespan_ms
+                + jps_best_mix_plan(s2.profile(), n2).makespan_ms;
+            let joint = hetero_jps_plan(&[
+                JobGroup {
+                    profile: s1.profile().clone(),
+                    count: n1,
+                },
+                JobGroup {
+                    profile: s2.profile().clone(),
+                    count: n2,
+                },
+            ]);
+            println!(
+                "| {label} ({n1}×{m1} + {n2}×{m2}) | {net_label} | {} | {} | -{:.1}% |",
+                fmt_ms(separate),
+                fmt_ms(joint.makespan_ms),
+                (1.0 - joint.makespan_ms / separate) * 100.0
+            );
+            assert!(joint.makespan_ms <= separate + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Extension experiment: parallel uplink connections.
+//!
+//! Doubling the uplink channel count halves the aggregate transfer
+//! bottleneck; the balanced cut `f(x) = g(x)/c` migrates shallower
+//! (offload earlier), and the makespan gain concentrates on
+//! communication-bound model/network pairs.
+
+use mcdnn::prelude::*;
+use mcdnn_bench::{banner, fmt_ms};
+use mcdnn_partition::{binary_search_cut, multichannel_jps_plan};
+
+fn main() {
+    banner(
+        "Extension (parallel uplink channels)",
+        "channels help comm-bound pairs; balanced cut moves shallower",
+    );
+
+    let n = 50;
+    println!("| model | net | channels | makespan | gain vs 1ch | crossing l* |");
+    println!("|---|---|---|---|---|---|");
+    for model in [Model::GoogLeNet, Model::AlexNet] {
+        for (label, net) in [("4G", NetworkModel::four_g()), ("Wi-Fi", NetworkModel::wifi())] {
+            let s = Scenario::paper_default(model, net);
+            let single = multichannel_jps_plan(s.profile(), n, 1).makespan_ms;
+            for channels in [1usize, 2, 4] {
+                let plan = multichannel_jps_plan(s.profile(), n, channels);
+                let crossing =
+                    mcdnn_partition::multichannel::crossing_cut_multichannel(s.profile(), channels);
+                println!(
+                    "| {model} | {label} | {channels} | {} | -{:.1}% | {} (1ch: {}) |",
+                    fmt_ms(plan.makespan_ms),
+                    (1.0 - plan.makespan_ms / single) * 100.0,
+                    crossing,
+                    binary_search_cut(s.profile()).l_star,
+                );
+            }
+        }
+    }
+}

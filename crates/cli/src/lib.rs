@@ -1,0 +1,762 @@
+//! # mcdnn-cli
+//!
+//! Command-line front end for the planner. All logic lives in this
+//! library (returning strings) so it is fully unit-testable; `main.rs`
+//! only forwards `std::env::args`.
+//!
+//! ```text
+//! mcdnn models
+//! mcdnn profile --model alexnet --bandwidth 18.88
+//! mcdnn plan    --model alexnet --bandwidth 18.88 --jobs 10 [--strategy jps]
+//! mcdnn compare --model resnet18 --bandwidth 5.85 --jobs 100
+//! mcdnn sweep   --model mobilenet_v2 --from 1 --to 40 --steps 8 --jobs 50
+//! mcdnn dot     --model squeezenet1_1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use mcdnn::prelude::*;
+
+/// CLI error: message already formatted for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed flag set: `--key value` pairs after the subcommand.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(err(format!("unexpected argument '{a}' (flags are --key value)")));
+            };
+            let Some(value) = it.next() else {
+                return Err(err(format!("flag --{key} is missing its value")));
+            };
+            pairs.push((key, value.as_str()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| err(format!("missing required flag --{key}")))
+    }
+
+    fn parse_f64(&self, key: &str) -> Result<f64, CliError> {
+        let raw = self.require(key)?;
+        raw.parse()
+            .map_err(|_| err(format!("--{key} expects a number, got '{raw}'")))
+    }
+
+    fn parse_f64_or(&self, key: &str, default: f64) -> Result<f64, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("--{key} expects a number, got '{raw}'"))),
+        }
+    }
+
+    fn parse_usize(&self, key: &str) -> Result<usize, CliError> {
+        let raw = self.require(key)?;
+        raw.parse()
+            .map_err(|_| err(format!("--{key} expects an integer, got '{raw}'")))
+    }
+
+    fn model(&self) -> Result<Model, CliError> {
+        let raw = self.require("model")?;
+        raw.parse().map_err(|e: String| err(e))
+    }
+
+    fn strategy_or(&self, default: Strategy) -> Result<Strategy, CliError> {
+        match self.get("strategy") {
+            None => Ok(default),
+            Some(raw) => parse_strategy(raw),
+        }
+    }
+}
+
+fn parse_strategy(raw: &str) -> Result<Strategy, CliError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "lo" | "local" | "local-only" => Ok(Strategy::LocalOnly),
+        "co" | "cloud" | "cloud-only" => Ok(Strategy::CloudOnly),
+        "po" | "partition-only" => Ok(Strategy::PartitionOnly),
+        "jps" => Ok(Strategy::Jps),
+        "jps*" | "jps-star" | "best-mix" => Ok(Strategy::JpsBestMix),
+        "bf" | "brute-force" => Ok(Strategy::BruteForce),
+        other => Err(err(format!(
+            "unknown strategy '{other}' (lo|co|po|jps|jps*|bf)"
+        ))),
+    }
+}
+
+fn scenario(flags: &Flags) -> Result<(Model, Scenario), CliError> {
+    let model = flags.model()?;
+    let bandwidth = flags.parse_f64("bandwidth")?;
+    if bandwidth <= 0.0 {
+        return Err(err("--bandwidth must be positive"));
+    }
+    let setup = flags.parse_f64_or("setup-ms", 10.0)?;
+    let net = NetworkModel::new(bandwidth, setup);
+    Ok((model, Scenario::paper_default(model, net)))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mcdnn — joint DNN partition and scheduling planner (ICPP'21 reproduction)
+
+USAGE:
+  mcdnn models
+  mcdnn profile --model <name> --bandwidth <Mbps> [--setup-ms <ms>]
+  mcdnn plan    --model <name> --bandwidth <Mbps> --jobs <n>
+                [--strategy lo|co|po|jps|jps*|bf] [--setup-ms <ms>]
+  mcdnn compare --model <name> --bandwidth <Mbps> --jobs <n> [--setup-ms <ms>]
+  mcdnn sweep   --model <name> --from <Mbps> --to <Mbps> --steps <k> --jobs <n>
+  mcdnn pareto  --model <name> --bandwidth <Mbps> --jobs <n>
+  mcdnn load    --file <model.dnn> --bandwidth <Mbps> --jobs <n>
+  mcdnn inspect --model <name>
+  mcdnn stream  --model <name> --bandwidth <Mbps> --fps <rate>
+  mcdnn hetero  --models <a,b,..> --counts <n1,n2,..> --bandwidth <Mbps>
+  mcdnn dot     --model <name>
+
+`plan` also accepts --svg <path> (SVG Gantt chart) and --trace <path>\n(Chrome trace-event JSON, viewable in Perfetto).
+";
+
+/// Run the CLI on the given arguments (excluding the program name),
+/// returning the full stdout text.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(err(USAGE));
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "models" => cmd_models(),
+        "profile" => cmd_profile(&flags),
+        "plan" => cmd_plan(&flags),
+        "compare" => cmd_compare(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "pareto" => cmd_pareto(&flags),
+        "load" => cmd_load(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "stream" => cmd_stream(&flags),
+        "hetero" => cmd_hetero(&flags),
+        "dot" => cmd_dot(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_models() -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| model | structure | layers | GFLOPs | params (M) | cut candidates |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for m in Model::ALL {
+        let g = m.graph();
+        let line = m.line().map_err(|e| err(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "| {m} | {} | {} | {:.2} | {:.2} | {} |",
+            if m.is_general() { "general" } else { "line" },
+            g.len(),
+            g.total_flops() as f64 / 1e9,
+            g.total_params() as f64 / 1e6,
+            line.k() + 1,
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_profile(flags: &Flags) -> Result<String, CliError> {
+    let (model, s) = scenario(flags)?;
+    let p = s.profile();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{model} at {} Mbps — cut cost table (f = mobile ms, g = upload ms)",
+        s.network().bandwidth_mbps
+    );
+    let _ = writeln!(out, "| cut | f (ms) | g (ms) | cloud (ms) | f>=g |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for l in 0..=p.k() {
+        let _ = writeln!(
+            out,
+            "| {l} | {:.1} | {:.1} | {:.2} | {} |",
+            p.f(l),
+            p.g(l),
+            p.cloud(l),
+            if p.f(l) >= p.g(l) { "*" } else { "" }
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_plan(flags: &Flags) -> Result<String, CliError> {
+    let (model, s) = scenario(flags)?;
+    let n = flags.parse_usize("jobs")?;
+    let strategy = flags.strategy_or(Strategy::Jps)?;
+    let timed = s.plan_timed(strategy, n);
+    let plan = &timed.plan;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{model}, {n} jobs at {} Mbps, strategy {}",
+        s.network().bandwidth_mbps,
+        strategy.label()
+    );
+    let _ = writeln!(
+        out,
+        "makespan: {:.1} ms ({:.1} ms/job), decided in {:?}",
+        plan.makespan_ms,
+        plan.average_makespan_ms(),
+        timed.decision_time
+    );
+    let _ = writeln!(out, "cuts:  {:?}", plan.cuts);
+    let _ = writeln!(out, "order: {:?}", plan.order);
+    let _ = writeln!(out, "\n{}", plan.gantt(s.profile()).to_ascii(64));
+    if let Some(path) = flags.get("svg") {
+        let svg = plan.gantt(s.profile()).to_svg(720, 18);
+        std::fs::write(path, svg).map_err(|e| err(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "wrote SVG Gantt to {path}");
+    }
+    if let Some(path) = flags.get("trace") {
+        let trace = mcdnn_sim::to_chrome_trace(&plan.jobs(s.profile()), &plan.order);
+        std::fs::write(path, trace).map_err(|e| err(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "wrote Chrome trace to {path} (open in Perfetto)");
+    }
+    Ok(out)
+}
+
+fn cmd_pareto(flags: &Flags) -> Result<String, CliError> {
+    let (model, s) = scenario(flags)?;
+    let n = flags.parse_usize("jobs")?;
+    let energy = mcdnn_profile::EnergyModel::raspberry_pi4_wifi();
+    let front = mcdnn_partition::pareto_front(s.profile(), n, &energy);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{model}, {n} jobs at {} Mbps — latency/energy Pareto front",
+        s.network().bandwidth_mbps
+    );
+    let _ = writeln!(out, "| makespan (ms) | energy (J) | distinct cuts |");
+    let _ = writeln!(out, "|---|---|---|");
+    for p in front {
+        let mut cuts = p.plan.cuts.clone();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let _ = writeln!(
+            out,
+            "| {:.1} | {:.2} | {:?} |",
+            p.makespan_ms,
+            p.energy_mj / 1e3,
+            cuts
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_load(flags: &Flags) -> Result<String, CliError> {
+    let path = flags.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("model");
+    let graph = mcdnn_graph::parse_model(name, &text).map_err(|e| err(e.to_string()))?;
+    let line = if graph.is_line_structure() {
+        mcdnn_graph::LineDnn::from_graph(&graph).map_err(|e| err(e.to_string()))?
+    } else {
+        mcdnn_graph::collapse_to_line(&graph).map_err(|e| err(e.to_string()))?
+    };
+    let (clustered, _) = mcdnn_graph::cluster_virtual_blocks(&line);
+    let bandwidth = flags.parse_f64("bandwidth")?;
+    let setup = flags.parse_f64_or("setup-ms", 10.0)?;
+    let n = flags.parse_usize("jobs")?;
+    let s = Scenario::new(
+        clustered,
+        DeviceModel::raspberry_pi4(),
+        NetworkModel::new(bandwidth, setup),
+        CloudModel::Device(DeviceModel::cloud_gtx1080()),
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loaded {name}: {} layers, {:.2} GFLOPs, {} cut candidates",
+        graph.len(),
+        graph.total_flops() as f64 / 1e9,
+        s.profile().k() + 1
+    );
+    let _ = writeln!(out, "| strategy | makespan (ms) | per-job (ms) |");
+    let _ = writeln!(out, "|---|---|---|");
+    for strat in [Strategy::LocalOnly, Strategy::CloudOnly, Strategy::JpsBestMix] {
+        let plan = s.plan(strat, n);
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:.1} |",
+            strat.label(),
+            plan.makespan_ms,
+            plan.average_makespan_ms()
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_compare(flags: &Flags) -> Result<String, CliError> {
+    let (model, s) = scenario(flags)?;
+    let n = flags.parse_usize("jobs")?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{model}, {n} jobs at {} Mbps",
+        s.network().bandwidth_mbps
+    );
+    let _ = writeln!(out, "| strategy | makespan (ms) | per-job (ms) |");
+    let _ = writeln!(out, "|---|---|---|");
+    for strat in [
+        Strategy::LocalOnly,
+        Strategy::CloudOnly,
+        Strategy::PartitionOnly,
+        Strategy::Jps,
+        Strategy::JpsBestMix,
+    ] {
+        let plan = s.plan(strat, n);
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:.1} |",
+            strat.label(),
+            plan.makespan_ms,
+            plan.average_makespan_ms()
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
+    let model = flags.model()?;
+    let from = flags.parse_f64("from")?;
+    let to = flags.parse_f64("to")?;
+    let steps = flags.parse_usize("steps")?;
+    let n = flags.parse_usize("jobs")?;
+    if from <= 0.0 || to < from || steps < 2 {
+        return Err(err("need 0 < --from <= --to and --steps >= 2"));
+    }
+    let mbps: Vec<f64> = (0..steps)
+        .map(|i| from + (to - from) * i as f64 / (steps - 1) as f64)
+        .collect();
+    let rows = mcdnn::experiment::bandwidth_sweep(model, &mbps, n);
+    let mut out = String::new();
+    let _ = writeln!(out, "{model}, {n} jobs — per-job latency (ms)");
+    let _ = writeln!(out, "| Mbps | LO | CO | PO | JPS |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {:.2} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            r.bandwidth_mbps, r.lo_ms, r.co_ms, r.po_ms, r.jps_ms
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_inspect(flags: &Flags) -> Result<String, CliError> {
+    let model = flags.model()?;
+    let g = model.graph();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{model}: {} layers, {:.2} GFLOPs, {:.2} M params, {}",
+        g.len(),
+        g.total_flops() as f64 / 1e9,
+        g.total_params() as f64 / 1e6,
+        if g.is_line_structure() {
+            "line structure"
+        } else {
+            "general structure"
+        }
+    );
+    let _ = writeln!(out, "| # | name | op | output | MFLOPs | params |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for (id, node) in g.iter() {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {:.2} | {} |",
+            id.index(),
+            node.name,
+            node.layer.name(),
+            node.output,
+            node.flops as f64 / 1e6,
+            node.params
+        );
+    }
+    let line = model.line().map_err(|e| err(e.to_string()))?;
+    let _ = writeln!(
+        out,
+        "\nclustered line view: {} cut candidates; offload volumes (bytes): {:?}",
+        line.k() + 1,
+        (0..=line.k()).map(|c| line.offload_bytes(c)).collect::<Vec<_>>()
+    );
+    let breakdown = mcdnn_graph::cost_breakdown(&g);
+    let _ = writeln!(
+        out,
+        "cost classes: dense {:.1}% / depthwise {:.1}% / memory-bound {:.1}% of FLOPs \
+         (high depthwise share means a pure-FLOP device model under-prices this net)",
+        breakdown.dense_flops as f64 / breakdown.total_flops().max(1) as f64 * 100.0,
+        breakdown.depthwise_fraction() * 100.0,
+        breakdown.memory_flops as f64 / breakdown.total_flops().max(1) as f64 * 100.0,
+    );
+    Ok(out)
+}
+
+fn cmd_stream(flags: &Flags) -> Result<String, CliError> {
+    let (model, s) = scenario(flags)?;
+    let fps = flags.parse_f64("fps")?;
+    if fps <= 0.0 {
+        return Err(err("--fps must be positive"));
+    }
+    let p = s.profile();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{model} at {} Mbps, target {fps} fps (period {:.1} ms)",
+        s.network().bandwidth_mbps,
+        1000.0 / fps
+    );
+    match mcdnn_sim::best_cut_for_rate(p, fps, 0.9) {
+        None => {
+            let best_rate = (0..=p.k())
+                .map(|c| mcdnn_sim::saturation_rate_hz(p.f(c), p.g(c)))
+                .fold(0.0f64, f64::max);
+            let _ = writeln!(
+                out,
+                "no cut sustains {fps} fps on this platform; ceiling is {best_rate:.1} fps"
+            );
+        }
+        Some(cut) => {
+            let stats = mcdnn_sim::simulate_stream(
+                p.f(cut),
+                p.g(cut),
+                &mcdnn_sim::StreamConfig {
+                    period_ms: 1000.0 / fps,
+                    arrival_jitter: 0.2,
+                    frames: 1500,
+                    warmup: 150,
+                    seed: 1,
+                },
+            );
+            let _ = writeln!(
+                out,
+                "best cut: {cut} (f = {:.1} ms, g = {:.1} ms); \
+                 steady-state sojourn mean {:.1} ms / p95 {:.1} ms; \
+                 utilisation CPU {:.0}% uplink {:.0}%",
+                p.f(cut),
+                p.g(cut),
+                stats.mean_sojourn_ms,
+                stats.p95_sojourn_ms,
+                stats.rho_cpu * 100.0,
+                stats.rho_link * 100.0,
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_hetero(flags: &Flags) -> Result<String, CliError> {
+    let models_raw = flags.require("models")?;
+    let counts_raw = flags.require("counts")?;
+    let bandwidth = flags.parse_f64("bandwidth")?;
+    let setup = flags.parse_f64_or("setup-ms", 10.0)?;
+    let models: Vec<Model> = models_raw
+        .split(',')
+        .map(|m| m.trim().parse().map_err(|e: String| err(e)))
+        .collect::<Result<_, _>>()?;
+    let counts: Vec<usize> = counts_raw
+        .split(',')
+        .map(|c| {
+            c.trim()
+                .parse()
+                .map_err(|_| err(format!("bad count '{c}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    if models.len() != counts.len() || models.is_empty() {
+        return Err(err("--models and --counts must list the same (non-zero) number of entries"));
+    }
+    let net = NetworkModel::new(bandwidth, setup);
+    let groups: Vec<mcdnn_partition::JobGroup> = models
+        .iter()
+        .zip(&counts)
+        .map(|(&m, &count)| mcdnn_partition::JobGroup {
+            profile: Scenario::paper_default(m, net).profile().clone(),
+            count,
+        })
+        .collect();
+    let joint = mcdnn_partition::hetero_jps_plan(&groups);
+    let separate: f64 = groups
+        .iter()
+        .map(|g| mcdnn_partition::jps_best_mix_plan(&g.profile, g.count).makespan_ms)
+        .sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "heterogeneous batch at {bandwidth} Mbps:");
+    for ((m, c), cut) in models.iter().zip(&counts).zip(&joint.cuts) {
+        let _ = writeln!(out, "  {c} × {m}: cut {} (mix: {:?})", cut.cut, cut.mix);
+    }
+    let _ = writeln!(
+        out,
+        "joint makespan {:.1} ms vs per-model planning {:.1} ms (-{:.1}%)",
+        joint.makespan_ms,
+        separate,
+        (1.0 - joint.makespan_ms / separate) * 100.0
+    );
+    Ok(out)
+}
+
+fn cmd_dot(flags: &Flags) -> Result<String, CliError> {
+    let model = flags.model()?;
+    Ok(mcdnn_graph::dot::to_dot(&model.graph()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn models_lists_zoo() {
+        let out = run_str(&["models"]).unwrap();
+        assert!(out.contains("alexnet"));
+        assert!(out.contains("googlenet"));
+        assert!(out.contains("resnet50"));
+    }
+
+    #[test]
+    fn profile_table() {
+        let out = run_str(&["profile", "--model", "alexnet", "--bandwidth", "18.88"]).unwrap();
+        assert!(out.contains("| cut |"));
+        assert!(out.contains("| 0 |"));
+    }
+
+    #[test]
+    fn plan_outputs_gantt() {
+        let out = run_str(&[
+            "plan", "--model", "alexnet", "--bandwidth", "18.88", "--jobs", "4",
+        ])
+        .unwrap();
+        assert!(out.contains("makespan"));
+        assert!(out.contains("comp"));
+        assert!(out.contains("comm"));
+    }
+
+    #[test]
+    fn plan_with_strategy_aliases() {
+        for s in ["lo", "co", "po", "jps", "jps*", "best-mix"] {
+            let out = run_str(&[
+                "plan", "--model", "nin", "--bandwidth", "10", "--jobs", "2",
+                "--strategy", s,
+            ])
+            .unwrap();
+            assert!(out.contains("makespan"), "strategy {s}");
+        }
+    }
+
+    #[test]
+    fn compare_lists_all_strategies() {
+        let out = run_str(&[
+            "compare", "--model", "mobilenet_v2", "--bandwidth", "5.85", "--jobs", "10",
+        ])
+        .unwrap();
+        for label in ["LO", "CO", "PO", "JPS", "JPS*"] {
+            assert!(out.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn sweep_has_requested_steps() {
+        let out = run_str(&[
+            "sweep", "--model", "alexnet", "--from", "2", "--to", "20", "--steps", "4",
+            "--jobs", "5",
+        ])
+        .unwrap();
+        assert_eq!(out.lines().filter(|l| l.starts_with("| 2")).count(), 2); // 2.00 and 20.00
+        assert_eq!(out.lines().count(), 3 + 4);
+    }
+
+    #[test]
+    fn dot_output() {
+        let out = run_str(&["dot", "--model", "nin"]).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_str(&[]).is_err());
+        assert!(run_str(&["nope"]).unwrap_err().0.contains("unknown command"));
+        assert!(run_str(&["plan", "--model", "alexnet"])
+            .unwrap_err()
+            .0
+            .contains("--bandwidth"));
+        assert!(run_str(&["plan", "--model", "bogus", "--bandwidth", "1", "--jobs", "1"])
+            .unwrap_err()
+            .0
+            .contains("unknown model"));
+        assert!(run_str(&[
+            "plan", "--model", "nin", "--bandwidth", "x", "--jobs", "1"
+        ])
+        .unwrap_err()
+        .0
+        .contains("expects a number"));
+        assert!(run_str(&["plan", "--model"]).unwrap_err().0.contains("missing its value"));
+        assert!(run_str(&["plan", "oops"]).unwrap_err().0.contains("unexpected argument"));
+    }
+
+    #[test]
+    fn pareto_command() {
+        let out = run_str(&[
+            "pareto", "--model", "alexnet", "--bandwidth", "18.88", "--jobs", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("Pareto front"));
+        assert!(out.contains("| makespan"));
+    }
+
+    #[test]
+    fn load_command_roundtrip() {
+        let dir = std::env::temp_dir().join("mcdnn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("tiny.dnn");
+        std::fs::write(
+            &file,
+            "i: input(3, 32, 32)\nc: conv(8, k=3, p=1)\nr: relu\np: maxpool(k=2, s=2)\nd: dense(10)\n",
+        )
+        .unwrap();
+        let out = run_str(&[
+            "load",
+            "--file",
+            file.to_str().unwrap(),
+            "--bandwidth",
+            "10",
+            "--jobs",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("loaded tiny"));
+        assert!(out.contains("JPS*"));
+        let missing = run_str(&["load", "--file", "/nonexistent.dnn", "--bandwidth", "1", "--jobs", "1"]);
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn plan_trace_export() {
+        let dir = std::env::temp_dir().join("mcdnn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("plan.trace.json");
+        let out = run_str(&[
+            "plan", "--model", "alexnet", "--bandwidth", "18.88", "--jobs", "3",
+            "--trace", trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("Perfetto"));
+        let content = std::fs::read_to_string(&trace).unwrap();
+        assert!(content.starts_with('[') && content.trim_end().ends_with(']'));
+        assert!(content.contains("mobile CPU"));
+    }
+
+    #[test]
+    fn plan_svg_export() {
+        let dir = std::env::temp_dir().join("mcdnn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let svg = dir.join("gantt.svg");
+        let out = run_str(&[
+            "plan", "--model", "alexnet", "--bandwidth", "18.88", "--jobs", "3",
+            "--svg", svg.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote SVG"));
+        let content = std::fs::read_to_string(&svg).unwrap();
+        assert!(content.starts_with("<svg"));
+    }
+
+    #[test]
+    fn inspect_command() {
+        let out = run_str(&["inspect", "--model", "nin"]).unwrap();
+        assert!(out.contains("line structure"));
+        assert!(out.contains("| # | name | op |"));
+        assert!(out.contains("clustered line view"));
+    }
+
+    #[test]
+    fn stream_command_both_outcomes() {
+        // Low rate: a cut exists.
+        let ok = run_str(&[
+            "stream", "--model", "mobilenet_v2", "--bandwidth", "18.88", "--fps", "2",
+        ])
+        .unwrap();
+        assert!(ok.contains("best cut"), "{ok}");
+        // Absurd rate: ceiling reported.
+        let no = run_str(&[
+            "stream", "--model", "mobilenet_v2", "--bandwidth", "18.88", "--fps", "500",
+        ])
+        .unwrap();
+        assert!(no.contains("ceiling"), "{no}");
+    }
+
+    #[test]
+    fn hetero_command() {
+        let out = run_str(&[
+            "hetero", "--models", "alexnet,mobilenet_v2", "--counts", "3,3",
+            "--bandwidth", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("joint makespan"));
+        assert!(out.contains("3 × alexnet"));
+        // Mismatched lists rejected.
+        assert!(run_str(&[
+            "hetero", "--models", "alexnet", "--counts", "1,2", "--bandwidth", "10"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn brute_force_strategy_small() {
+        let out = run_str(&[
+            "plan", "--model", "alexnet", "--bandwidth", "18.88", "--jobs", "2",
+            "--strategy", "bf",
+        ])
+        .unwrap();
+        assert!(out.contains("BF") || out.contains("makespan"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `mcdnn` binary: thin wrapper over the testable CLI library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mcdnn_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Lower bounds for the two-stage flow shop — cheap optimality oracles
+//! used in tests and benches.
+
+use crate::job::FlowJob;
+
+/// Standard machine-based lower bound for `F2 || C_max`:
+///
+/// `max( Σf + min g⁺,  Σg + min f,  max(f+g) )`
+///
+/// where `min g⁺` is the smallest *positive* communication time (a
+/// local-only job need not touch machine 2, and if every job is local
+/// only the bound degenerates to `Σf`).
+pub fn two_stage_lower_bound(jobs: &[FlowJob]) -> f64 {
+    if jobs.is_empty() {
+        return 0.0;
+    }
+    let sum_f: f64 = jobs.iter().map(|j| j.compute_ms).sum();
+    let offloading: Vec<&FlowJob> = jobs.iter().filter(|j| j.comm_ms > 0.0).collect();
+    // machine-1 bound: the mobile CPU must execute every compute stage.
+    // When every job offloads, whichever job is sequenced last still has
+    // its upload ahead of it, adding at least the smallest g. A job with
+    // g = 0 can be sequenced last and void that extra term.
+    let lb1 = if offloading.len() == jobs.len() {
+        let min_g = offloading
+            .iter()
+            .map(|j| j.comm_ms)
+            .fold(f64::INFINITY, f64::min);
+        sum_f + min_g
+    } else {
+        sum_f
+    };
+    // machine-2 bound: the uplink must carry Σg, and cannot start before
+    // the earliest compute finishes.
+    let lb2 = if offloading.is_empty() {
+        0.0
+    } else {
+        let sum_g: f64 = offloading.iter().map(|j| j.comm_ms).sum();
+        let min_f = jobs
+            .iter()
+            .filter(|j| j.comm_ms > 0.0)
+            .map(|j| j.compute_ms)
+            .fold(f64::INFINITY, f64::min);
+        sum_g + min_f
+    };
+    // single-job bound.
+    let lb3 = jobs
+        .iter()
+        .map(|j| j.compute_ms + j.comm_ms)
+        .fold(0.0, f64::max);
+    lb1.max(lb2).max(lb3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::johnson::johnson_order;
+    use crate::makespan::makespan;
+
+    fn jobs(spec: &[(f64, f64)]) -> Vec<FlowJob> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(f, g))| FlowJob::two_stage(i, f, g))
+            .collect()
+    }
+
+    #[test]
+    fn bound_below_optimum() {
+        let cases = [
+            vec![(4.0, 6.0), (7.0, 2.0)],
+            vec![(3.0, 6.0), (7.0, 2.0), (4.0, 4.0), (5.0, 3.0), (1.0, 5.0)],
+            vec![(5.0, 0.0), (1.0, 9.0)],
+        ];
+        for spec in cases {
+            let js = jobs(&spec);
+            let opt = makespan(&js, &johnson_order(&js));
+            let lb = two_stage_lower_bound(&js);
+            assert!(lb <= opt + 1e-12, "bound {lb} exceeds optimum {opt}");
+            assert!(lb > 0.0);
+        }
+    }
+
+    #[test]
+    fn bound_tight_for_balanced_pipeline() {
+        // Perfectly pipelined jobs: f = g -> optimum = Σf + g = bound.
+        let js = jobs(&[(5.0, 5.0); 4]);
+        let opt = makespan(&js, &johnson_order(&js));
+        assert_eq!(two_stage_lower_bound(&js), opt);
+    }
+
+    #[test]
+    fn local_only_set() {
+        let js = jobs(&[(5.0, 0.0), (7.0, 0.0)]);
+        assert_eq!(two_stage_lower_bound(&js), 12.0);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(two_stage_lower_bound(&[]), 0.0);
+    }
+}

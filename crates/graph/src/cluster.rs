@@ -1,0 +1,243 @@
+//! Virtual-block clustering (paper §3.2).
+//!
+//! The paper's analysis requires the offloading volume `g(l)` to be
+//! non-increasing in the cut depth `l`. Real DNNs violate this locally —
+//! e.g. a MobileNet-v2 bottleneck expands `[24, 56, 56]` to
+//! `[144, 56, 56]` before shrinking back (paper Fig. 10). Cutting inside
+//! such an expansion is *dominated*: there is an earlier cut with both
+//! less mobile computation and no more communication, so it can never be
+//! optimal for any bandwidth or schedule. The paper therefore clusters
+//! those layers into a *virtual block* and only allows cuts at block
+//! boundaries.
+//!
+//! [`cluster_virtual_blocks`] implements exactly that dominance
+//! reduction: the surviving cut candidates are the strict prefix-minima
+//! of the offload-volume sequence, and every maximal run of dominated
+//! layers is merged into the block ending at the next surviving layer.
+
+use crate::line::{LineDnn, LineLayer};
+
+/// A maximal run of original layers merged into one clustered layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualBlock {
+    /// 1-based index of the first original layer in the block.
+    pub start: usize,
+    /// 1-based index of the last original layer in the block (the only
+    /// admissible cut position the block retains).
+    pub end: usize,
+}
+
+impl VirtualBlock {
+    /// Number of original layers merged into this block.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// True when the block wraps a single original layer (no merging).
+    pub fn is_trivial(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Never empty by construction; provided for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Cluster dominated cut positions into virtual blocks.
+///
+/// Returns the clustered [`LineDnn`] (whose `g` sequence over interior
+/// cuts is strictly decreasing) together with the block map back into
+/// the original layer indices.
+///
+/// A cut after original layer `i` survives iff its offload volume is
+/// strictly smaller than the volume after every earlier layer *and*
+/// strictly smaller than the raw input volume (otherwise the cloud-only
+/// cut `0` dominates it). The final layer always survives: the
+/// local-only partition (`g = 0`) is always admissible.
+pub fn cluster_virtual_blocks(line: &LineDnn) -> (LineDnn, Vec<VirtualBlock>) {
+    let k = line.k();
+    assert!(k > 0, "cannot cluster an empty line DNN");
+
+    // Strict prefix-minima of offload volume, seeded with the input size.
+    let mut survivors: Vec<usize> = Vec::with_capacity(k);
+    let mut running_min = line.input_bytes();
+    for l in 1..=k {
+        let vol = line.offload_bytes(l);
+        let survives = l == k || vol < running_min;
+        if survives {
+            survivors.push(l);
+        }
+        running_min = running_min.min(vol);
+    }
+
+    let mut blocks = Vec::with_capacity(survivors.len());
+    let mut layers = Vec::with_capacity(survivors.len());
+    let mut start = 1usize;
+    for &end in &survivors {
+        let block = VirtualBlock { start, end };
+        let flops: u64 = (start..=end).map(|l| line.layer(l).flops).sum();
+        let mut nodes = Vec::new();
+        let mut names: Vec<&str> = Vec::new();
+        for l in start..=end {
+            let layer = line.layer(l);
+            nodes.extend_from_slice(&layer.nodes);
+            names.push(&layer.name);
+        }
+        let name = if block.is_trivial() {
+            names[0].to_string()
+        } else {
+            format!("[{}]", names.join("+"))
+        };
+        layers.push(LineLayer {
+            name,
+            flops,
+            out_bytes: line.layer(end).out_bytes,
+            nodes,
+        });
+        blocks.push(block);
+        start = end + 1;
+    }
+
+    let clustered = LineDnn::from_parts(
+        format!("{}/clustered", line.name()),
+        line.input_bytes(),
+        layers,
+    );
+    (clustered, blocks)
+}
+
+/// True when the interior offload volumes of `line` are strictly
+/// decreasing and all below the input volume — the property clustering
+/// establishes and the partition theory assumes.
+pub fn is_strictly_decreasing_volume(line: &LineDnn) -> bool {
+    let mut prev = line.input_bytes();
+    for l in 1..line.k() {
+        let vol = line.offload_bytes(l);
+        if vol >= prev {
+            return false;
+        }
+        prev = vol;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(input_bytes: usize, spec: &[(u64, usize)]) -> LineDnn {
+        let layers = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(flops, out_bytes))| LineLayer {
+                name: format!("l{}", i + 1),
+                flops,
+                out_bytes,
+                nodes: vec![],
+            })
+            .collect();
+        LineDnn::from_parts("synth", input_bytes, layers)
+    }
+
+    #[test]
+    fn already_monotone_is_untouched() {
+        let line = synth(1000, &[(10, 800), (10, 400), (10, 200), (10, 100)]);
+        let (clustered, blocks) = cluster_virtual_blocks(&line);
+        assert_eq!(clustered.k(), 4);
+        assert!(blocks.iter().all(VirtualBlock::is_trivial));
+        assert!(is_strictly_decreasing_volume(&clustered));
+    }
+
+    #[test]
+    fn expansion_is_merged_mobilenet_style() {
+        // Mimics a bottleneck: 24ch -> expand 144ch -> depthwise -> project 24ch.
+        let line = synth(
+            300,
+            &[
+                (10, 200), // entry
+                (10, 1200), // expand: dominated
+                (10, 1200), // depthwise: dominated
+                (10, 150),  // project: survives
+                (10, 80),
+            ],
+        );
+        let (clustered, blocks) = cluster_virtual_blocks(&line);
+        assert_eq!(
+            blocks,
+            vec![
+                VirtualBlock { start: 1, end: 1 },
+                VirtualBlock { start: 2, end: 4 },
+                VirtualBlock { start: 5, end: 5 },
+            ]
+        );
+        assert_eq!(clustered.k(), 3);
+        // Block FLOPs are summed, block volume is the last layer's.
+        assert_eq!(clustered.layer(2).flops, 30);
+        assert_eq!(clustered.layer(2).out_bytes, 150);
+        assert!(is_strictly_decreasing_volume(&clustered));
+    }
+
+    #[test]
+    fn equal_volume_is_dominated() {
+        // Volume staying flat is dominated (same comm, more compute).
+        let line = synth(500, &[(10, 400), (10, 400), (10, 100)]);
+        let (clustered, blocks) = cluster_virtual_blocks(&line);
+        assert_eq!(clustered.k(), 2);
+        assert_eq!(blocks[1], VirtualBlock { start: 2, end: 3 });
+    }
+
+    #[test]
+    fn layer_not_below_input_is_dominated() {
+        // First layer inflates above the raw input: cloud-only dominates it.
+        let line = synth(100, &[(10, 400), (10, 50)]);
+        let (clustered, blocks) = cluster_virtual_blocks(&line);
+        assert_eq!(clustered.k(), 1);
+        assert_eq!(blocks, vec![VirtualBlock { start: 1, end: 2 }]);
+        assert_eq!(clustered.layer(1).flops, 20);
+    }
+
+    #[test]
+    fn last_layer_always_survives() {
+        // Even a monotone-increasing volume keeps the local-only endpoint.
+        let line = synth(10, &[(10, 20), (10, 40), (10, 80)]);
+        let (clustered, blocks) = cluster_virtual_blocks(&line);
+        assert_eq!(clustered.k(), 1);
+        assert_eq!(blocks, vec![VirtualBlock { start: 1, end: 3 }]);
+        // Interior cuts are gone; only cloud-only (0) and local-only (1).
+        assert_eq!(clustered.offload_bytes(0), 10);
+        assert_eq!(clustered.offload_bytes(1), 0);
+    }
+
+    #[test]
+    fn flops_conserved_by_clustering() {
+        let line = synth(
+            1000,
+            &[(7, 900), (11, 1100), (13, 850), (17, 850), (19, 100)],
+        );
+        let (clustered, _) = cluster_virtual_blocks(&line);
+        assert_eq!(clustered.total_flops(), line.total_flops());
+    }
+
+    #[test]
+    fn blocks_tile_the_layer_range() {
+        let line = synth(
+            64,
+            &[(1, 100), (1, 32), (1, 48), (1, 16), (1, 16), (1, 8)],
+        );
+        let (_, blocks) = cluster_virtual_blocks(&line);
+        assert_eq!(blocks[0].start, 1);
+        assert_eq!(blocks.last().unwrap().end, line.k());
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].end + 1, w[1].start, "blocks must tile contiguously");
+        }
+    }
+
+    #[test]
+    fn single_layer_line() {
+        let line = synth(100, &[(5, 10)]);
+        let (clustered, blocks) = cluster_virtual_blocks(&line);
+        assert_eq!(clustered.k(), 1);
+        assert_eq!(blocks, vec![VirtualBlock { start: 1, end: 1 }]);
+    }
+}

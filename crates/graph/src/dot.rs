@@ -1,0 +1,52 @@
+//! Graphviz DOT export for visual inspection of DNN DAGs.
+
+use std::fmt::Write as _;
+
+use crate::graph::DnnGraph;
+
+/// Render the graph in Graphviz DOT format.
+///
+/// Nodes are labelled `name\nkind out_shape`; edges are labelled with the
+/// communication volume in bytes (the DAG edge weight of the paper).
+pub fn to_dot(graph: &DnnGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for (id, node) in graph.iter() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{} {}\"];",
+            id.index(),
+            node.name,
+            node.layer.name(),
+            node.output
+        );
+    }
+    for (u, v) in graph.edges() {
+        let bytes = graph.node(u).output.bytes(graph.dtype());
+        let _ = writeln!(out, "  n{} -> n{} [label=\"{} B\"];", u.index(), v.index(), bytes);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind as L;
+    use crate::tensor::TensorShape as S;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = DnnGraph::builder("dotty");
+        let i = b.input(S::chw(3, 8, 8));
+        b.layer_after(i, L::conv(4, 3, 1, 1));
+        let g = b.build().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"dotty\""));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains(&format!("{} B", 3 * 8 * 8 * 4)));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,119 @@
+//! Error types for DNN graph construction and validation.
+
+use std::fmt;
+
+use crate::graph::NodeId;
+use crate::tensor::TensorShape;
+
+/// Errors raised while building or validating a [`crate::DnnGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A referenced node id does not exist in the graph.
+    UnknownNode(NodeId),
+    /// The graph contains a directed cycle (not a DAG).
+    CycleDetected,
+    /// A layer received an input shape it cannot process.
+    ShapeMismatch {
+        /// Node whose shape inference failed.
+        node: NodeId,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A node has the wrong number of inputs for its layer kind.
+    ArityMismatch {
+        /// Offending node.
+        node: NodeId,
+        /// Inputs the layer kind expects (`None` = variadic ≥ 2).
+        expected: Option<usize>,
+        /// Inputs actually wired.
+        actual: usize,
+    },
+    /// The graph has no source (input) node.
+    NoSource,
+    /// The graph has more than one sink and an operation required a
+    /// unique output node.
+    MultipleSinks(Vec<NodeId>),
+    /// An operation required a line-structure DNN but the graph branches.
+    NotLineStructure {
+        /// First node at which the structure branches.
+        node: NodeId,
+    },
+    /// A duplicate edge was inserted.
+    DuplicateEdge {
+        /// Edge source.
+        from: NodeId,
+        /// Edge destination.
+        to: NodeId,
+    },
+    /// Concatenation inputs disagree on spatial dimensions.
+    ConcatSpatialMismatch {
+        /// Offending node.
+        node: NodeId,
+        /// Shapes that failed to concatenate.
+        shapes: Vec<TensorShape>,
+    },
+    /// The graph is empty.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id:?}"),
+            GraphError::CycleDetected => write!(f, "graph contains a cycle; DNNs must be DAGs"),
+            GraphError::ShapeMismatch { node, reason } => {
+                write!(f, "shape inference failed at node {node:?}: {reason}")
+            }
+            GraphError::ArityMismatch {
+                node,
+                expected,
+                actual,
+            } => match expected {
+                Some(e) => write!(f, "node {node:?} expects {e} input(s), got {actual}"),
+                None => write!(f, "node {node:?} expects >= 2 inputs, got {actual}"),
+            },
+            GraphError::NoSource => write!(f, "graph has no input (source) node"),
+            GraphError::MultipleSinks(sinks) => {
+                write!(f, "graph has multiple sinks: {sinks:?}")
+            }
+            GraphError::NotLineStructure { node } => {
+                write!(f, "graph is not line-structured; branches at node {node:?}")
+            }
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from:?} -> {to:?}")
+            }
+            GraphError::ConcatSpatialMismatch { node, shapes } => {
+                write!(
+                    f,
+                    "concat at node {node:?} with mismatched spatial dims: {shapes:?}"
+                )
+            }
+            GraphError::Empty => write!(f, "graph is empty"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::ArityMismatch {
+            node: NodeId(3),
+            expected: Some(2),
+            actual: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("expects 2"));
+        assert!(s.contains("got 1"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GraphError::CycleDetected);
+        assert!(e.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,399 @@
+//! A small textual model format (`.dnn`) for loading architectures
+//! without writing Rust.
+//!
+//! One layer per line: `name: op(args) [<- input[, input…]]`. Inputs
+//! default to the previous line's layer, so plain chains need no
+//! wiring. Comments start with `#`; blank lines are skipped.
+//!
+//! ```text
+//! # a tiny branchy classifier
+//! input:  input(3, 32, 32)
+//! conv1:  conv(16, k=3, s=1, p=1)
+//! relu1:  relu
+//! a:      conv(8, k=1)            <- relu1
+//! b:      conv(8, k=3, p=1)       <- relu1
+//! cat:    concat                  <- a, b
+//! pool:   maxpool(k=2, s=2)
+//! out:    dense(10)
+//! ```
+//!
+//! Supported ops: `input(c, h, w)`, `conv(out, k=.., s=.., p=.., g=..)`
+//! (`s`, `p`, `g` optional, defaulting to 1, 0, 1; `g=0` means
+//! depthwise), `maxpool(k=.., s=.., p=..)`, `avgpool(k=.., s=.., p=..)`,
+//! `gavgpool`, `dense(out)`, `relu`, `relu6`, `sigmoid`, `tanh`,
+//! `batchnorm`, `lrn`, `dropout`, `flatten`, `concat`, `add`,
+//! `softmax`.
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::graph::{DnnGraph, GraphBuilder, NodeId};
+use crate::layer::{Activation, LayerKind, PoolKind};
+use crate::tensor::TensorShape;
+
+/// Parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error occurred on (1-based).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors from [`parse_model`]: syntax or graph validation.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Text could not be parsed.
+    Parse(ParseError),
+    /// Parsed fine but the graph is invalid (cycle, shape mismatch, …).
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Parse(e) => write!(f, "parse error: {e}"),
+            ModelError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+fn perr(line: usize, message: impl Into<String>) -> ModelError {
+    ModelError::Parse(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parse a `.dnn` model description into a validated [`DnnGraph`].
+pub fn parse_model(name: &str, text: &str) -> Result<DnnGraph, ModelError> {
+    let mut builder = GraphBuilder::new(name);
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+    let mut prev: Option<NodeId> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let (decl, inputs_part) = match content.split_once("<-") {
+            Some((d, i)) => (d.trim(), Some(i.trim())),
+            None => (content, None),
+        };
+        let Some((layer_name, op_part)) = decl.split_once(':') else {
+            return Err(perr(line, format!("expected 'name: op', got '{decl}'")));
+        };
+        let layer_name = layer_name.trim();
+        if layer_name.is_empty() {
+            return Err(perr(line, "layer name is empty"));
+        }
+        if by_name.contains_key(layer_name) {
+            return Err(perr(line, format!("duplicate layer name '{layer_name}'")));
+        }
+        let kind = parse_op(op_part.trim(), line)?;
+
+        let explicit_inputs: Option<Vec<NodeId>> = match inputs_part {
+            None => None,
+            Some(list) => {
+                let mut ids = Vec::new();
+                for token in list.split(',') {
+                    let token = token.trim();
+                    let Some(&id) = by_name.get(token) else {
+                        return Err(perr(line, format!("unknown input layer '{token}'")));
+                    };
+                    ids.push(id);
+                }
+                Some(ids)
+            }
+        };
+
+        let id = builder.add_named(kind.clone(), layer_name);
+        match (&kind, explicit_inputs) {
+            (LayerKind::Input { .. }, None) => {}
+            (LayerKind::Input { .. }, Some(_)) => {
+                return Err(perr(line, "input layers take no '<-' inputs"));
+            }
+            (_, Some(inputs)) => {
+                if inputs.is_empty() {
+                    return Err(perr(line, "'<-' requires at least one input"));
+                }
+                for p in inputs {
+                    builder.connect(p, id);
+                }
+            }
+            (_, None) => {
+                let Some(p) = prev else {
+                    return Err(perr(
+                        line,
+                        "no previous layer to connect from; start with an input layer",
+                    ));
+                };
+                builder.connect(p, id);
+            }
+        }
+        by_name.insert(layer_name.to_string(), id);
+        prev = Some(id);
+    }
+
+    builder.build().map_err(ModelError::Graph)
+}
+
+/// Parse `op` or `op(args)` into a [`LayerKind`].
+fn parse_op(op: &str, line: usize) -> Result<LayerKind, ModelError> {
+    let (head, args) = match op.split_once('(') {
+        Some((h, rest)) => {
+            let Some(inner) = rest.strip_suffix(')') else {
+                return Err(perr(line, format!("missing ')' in '{op}'")));
+            };
+            (h.trim(), parse_args(inner, line)?)
+        }
+        None => (op.trim(), Args::default()),
+    };
+    let kind = match head {
+        "input" => {
+            let [c, h, w] = args.positional[..] else {
+                return Err(perr(line, "input needs (channels, height, width)"));
+            };
+            LayerKind::Input {
+                shape: TensorShape::chw(c, h, w),
+            }
+        }
+        "conv" => {
+            let [out] = args.positional[..] else {
+                return Err(perr(line, "conv needs (out_channels, …)"));
+            };
+            let groups = match args.named.get("g") {
+                Some(0) => out, // g=0 shorthand for depthwise
+                Some(&g) => g,
+                None => 1,
+            };
+            LayerKind::Conv2d {
+                out_channels: out,
+                kernel: args.named.get("k").copied().unwrap_or(1),
+                stride: args.named.get("s").copied().unwrap_or(1),
+                padding: args.named.get("p").copied().unwrap_or(0),
+                groups,
+                bias: args.named.get("bias").copied().unwrap_or(1) != 0,
+            }
+        }
+        "maxpool" | "avgpool" => LayerKind::Pool2d {
+            kind: if head == "maxpool" {
+                PoolKind::Max
+            } else {
+                PoolKind::Avg
+            },
+            kernel: args.named.get("k").copied().unwrap_or(2),
+            stride: args.named.get("s").copied().unwrap_or(2),
+            padding: args.named.get("p").copied().unwrap_or(0),
+        },
+        "gavgpool" => LayerKind::GlobalAvgPool,
+        "dense" => {
+            let [out] = args.positional[..] else {
+                return Err(perr(line, "dense needs (out_features)"));
+            };
+            LayerKind::Dense {
+                out_features: out,
+                bias: args.named.get("bias").copied().unwrap_or(1) != 0,
+            }
+        }
+        "relu" => LayerKind::Act(Activation::ReLU),
+        "relu6" => LayerKind::Act(Activation::ReLU6),
+        "sigmoid" => LayerKind::Act(Activation::Sigmoid),
+        "tanh" => LayerKind::Act(Activation::Tanh),
+        "batchnorm" => LayerKind::BatchNorm,
+        "lrn" => LayerKind::Lrn,
+        "dropout" => LayerKind::Dropout,
+        "flatten" => LayerKind::Flatten,
+        "concat" => LayerKind::Concat,
+        "add" => LayerKind::Add,
+        "softmax" => LayerKind::Softmax,
+        other => return Err(perr(line, format!("unknown op '{other}'"))),
+    };
+    Ok(kind)
+}
+
+#[derive(Default)]
+struct Args {
+    positional: Vec<usize>,
+    named: HashMap<String, usize>,
+}
+
+fn parse_args(inner: &str, line: usize) -> Result<Args, ModelError> {
+    let mut args = Args::default();
+    for tok in inner.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        match tok.split_once('=') {
+            Some((k, v)) => {
+                let value = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| perr(line, format!("bad value in '{tok}'")))?;
+                args.named.insert(k.trim().to_string(), value);
+            }
+            None => {
+                if !args.named.is_empty() {
+                    return Err(perr(
+                        line,
+                        format!("positional arg '{tok}' after named args"),
+                    ));
+                }
+                args.positional.push(
+                    tok.parse()
+                        .map_err(|_| perr(line, format!("bad number '{tok}'")))?,
+                );
+            }
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BRANCHY: &str = r"
+# a tiny branchy classifier
+input:  input(3, 32, 32)
+conv1:  conv(16, k=3, s=1, p=1)
+relu1:  relu
+a:      conv(8, k=1)            <- relu1
+b:      conv(8, k=3, p=1)       <- relu1
+cat:    concat                  <- a, b
+pool:   maxpool(k=2, s=2)
+out:    dense(10)
+";
+
+    #[test]
+    fn parses_branchy_model() {
+        let g = parse_model("branchy", BRANCHY).unwrap();
+        assert_eq!(g.len(), 8);
+        assert!(!g.is_line_structure());
+        let sink = g.sinks()[0];
+        assert_eq!(g.node(sink).output, TensorShape::flat(10));
+        // Concat of 8 + 8 channels at 32×32.
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| n.output == TensorShape::chw(16, 32, 32) && n.layer.name() == "concat"));
+    }
+
+    #[test]
+    fn implicit_chaining() {
+        let g = parse_model(
+            "chain",
+            "i: input(3, 8, 8)\nc: conv(4, k=3, p=1)\nr: relu\nd: dense(2)\n",
+        )
+        .unwrap();
+        assert!(g.is_line_structure());
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn depthwise_shorthand() {
+        let g = parse_model(
+            "dw",
+            "i: input(8, 8, 8)\nd: conv(8, k=3, p=1, g=0, bias=0)\n",
+        )
+        .unwrap();
+        let node = &g.nodes()[1];
+        assert!(matches!(
+            node.layer,
+            LayerKind::Conv2d {
+                groups: 8,
+                bias: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn residual_add() {
+        let text = "i: input(4, 8, 8)
+c1: conv(4, k=3, p=1)
+c2: conv(4, k=3, p=1)
+res: add <- i, c2
+";
+        let g = parse_model("res", text).unwrap();
+        let sink = g.sinks()[0];
+        assert_eq!(g.node(sink).output, TensorShape::chw(4, 8, 8));
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let e = parse_model("bad", "i: input(3, 8, 8)\nx: frobnicate\n").unwrap_err();
+        let ModelError::Parse(p) = e else {
+            panic!("expected parse error")
+        };
+        assert_eq!(p.line, 2);
+        assert!(p.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_input_reference() {
+        let e = parse_model("bad", "i: input(3, 8, 8)\nc: concat <- i, ghost\n").unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let e = parse_model("dup", "i: input(3, 8, 8)\ni: relu\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn shape_errors_surface_as_graph_errors() {
+        // Concat of mismatched spatial sizes: parses, fails validation.
+        let text = "i: input(3, 8, 8)
+a: maxpool(k=2, s=2)
+b: relu <- i
+c: concat <- a, b
+";
+        let e = parse_model("mismatch", text).unwrap_err();
+        assert!(matches!(e, ModelError::Graph(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse_model(
+            "c",
+            "\n# leading comment\ni: input(1, 4, 4)  # trailing\n\nr: relu\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse_model("e", "no colon here\n").is_err());
+        assert!(parse_model("e", "x: conv(4\n").is_err());
+        assert!(parse_model("e", "x: conv(k=3, 4)\n").is_err()); // positional after named
+        assert!(parse_model("e", "x: relu\n").is_err()); // nothing to chain from
+        assert!(parse_model("e", "i: input(3, 8, 8) <- i\n").is_err());
+        assert!(parse_model("e", "i: input(3)\n").is_err());
+        assert!(parse_model("e", "i: input(3, 8, 8)\nd: dense(x)\n").is_err());
+    }
+
+    #[test]
+    fn parsed_model_plans_end_to_end() {
+        // The parsed graph feeds the normal pipeline.
+        let g = parse_model("branchy", BRANCHY).unwrap();
+        let line = crate::paths::collapse_to_line(&g).unwrap();
+        let (clustered, _) = crate::cluster::cluster_virtual_blocks(&line);
+        assert!(clustered.k() >= 1);
+        assert_eq!(clustered.total_flops(), g.total_flops());
+    }
+}

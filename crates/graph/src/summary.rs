@@ -1,0 +1,102 @@
+//! Aggregate statistics of a DNN graph, broken down by execution-cost
+//! class — the quantities that decide how far a pure-FLOP device model
+//! can be trusted for a given architecture.
+
+use crate::graph::DnnGraph;
+use crate::layer::CostClass;
+
+/// FLOPs and layer counts per [`CostClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// FLOPs in dense GEMM-like layers.
+    pub dense_flops: u64,
+    /// FLOPs in grouped/depthwise convolutions.
+    pub depthwise_flops: u64,
+    /// FLOPs in memory-bound layers.
+    pub memory_flops: u64,
+    /// Layer counts per class, same order.
+    pub dense_layers: usize,
+    /// Depthwise layer count.
+    pub depthwise_layers: usize,
+    /// Memory-bound layer count.
+    pub memory_layers: usize,
+}
+
+impl CostBreakdown {
+    /// Total FLOPs across classes.
+    pub fn total_flops(&self) -> u64 {
+        self.dense_flops + self.depthwise_flops + self.memory_flops
+    }
+
+    /// Fraction of FLOPs in depthwise convolutions — the share a
+    /// FLOP-linear device model mis-prices the most.
+    pub fn depthwise_fraction(&self) -> f64 {
+        let total = self.total_flops();
+        if total == 0 {
+            0.0
+        } else {
+            self.depthwise_flops as f64 / total as f64
+        }
+    }
+}
+
+/// Compute the per-class breakdown of a graph.
+pub fn cost_breakdown(graph: &DnnGraph) -> CostBreakdown {
+    let mut b = CostBreakdown::default();
+    for node in graph.nodes() {
+        match node.layer.cost_class() {
+            CostClass::DenseCompute => {
+                b.dense_flops += node.flops;
+                b.dense_layers += 1;
+            }
+            CostClass::Depthwise => {
+                b.depthwise_flops += node.flops;
+                b.depthwise_layers += 1;
+            }
+            CostClass::MemoryBound => {
+                b.memory_flops += node.flops;
+                b.memory_layers += 1;
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind as L;
+    use crate::tensor::TensorShape as S;
+
+    #[test]
+    fn breakdown_partitions_total() {
+        let mut builder = DnnGraph::builder("b");
+        let i = builder.input(S::chw(8, 16, 16));
+        builder.chain(
+            i,
+            [
+                L::conv(16, 3, 1, 1),
+                L::Act(crate::Activation::ReLU),
+                L::depthwise(16, 3, 1, 1),
+                L::maxpool(2, 2),
+                L::dense(10),
+            ],
+        );
+        let g = builder.build().unwrap();
+        let b = cost_breakdown(&g);
+        assert_eq!(b.total_flops(), g.total_flops());
+        assert_eq!(b.dense_layers, 2); // conv + dense
+        assert_eq!(b.depthwise_layers, 1);
+        assert_eq!(b.memory_layers, 3); // input + relu + pool
+        assert!(b.depthwise_fraction() > 0.0 && b.depthwise_fraction() < 1.0);
+    }
+
+    #[test]
+    fn pure_dense_graph_has_zero_depthwise_fraction() {
+        let mut builder = DnnGraph::builder("d");
+        let i = builder.input(S::flat(32));
+        builder.chain(i, [L::dense(16), L::dense(8)]);
+        let g = builder.build().unwrap();
+        assert_eq!(cost_breakdown(&g).depthwise_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! AlexNet (torchvision variant), the paper's primary line-structure
+//! workload (Figs. 4, 11, 12, 13, Table 1).
+//!
+//! The paper's prototype runs PyTorch models, so we follow the
+//! `torchvision.models.alexnet` definition: 224×224 input, channel plan
+//! 64/192/384/256/256, three FC layers of 4096/4096/1000. The network is
+//! strictly sequential — the paper's Fig. 4 per-layer measurements group
+//! conv+ReLU(+pool) into "blocks"; we keep individual layers and expose
+//! the 8-block view through virtual-block clustering.
+
+use mcdnn_graph::{DnnGraph, GraphError, LayerKind as L, LineDnn, TensorShape};
+
+/// Build the AlexNet DAG (line structure, 21 compute layers + input).
+pub fn graph() -> DnnGraph {
+    let mut b = DnnGraph::builder("alexnet");
+    let i = b.input(TensorShape::chw(3, 224, 224));
+    let relu = || L::Act(mcdnn_graph::Activation::ReLU);
+    let mut prev = i;
+    // Feature extractor.
+    prev = b.chain(
+        prev,
+        [
+            L::Conv2d {
+                out_channels: 64,
+                kernel: 11,
+                stride: 4,
+                padding: 2,
+                groups: 1,
+                bias: true,
+            },
+            relu(),
+            L::maxpool(3, 2),
+            L::Conv2d {
+                out_channels: 192,
+                kernel: 5,
+                stride: 1,
+                padding: 2,
+                groups: 1,
+                bias: true,
+            },
+            relu(),
+            L::maxpool(3, 2),
+            L::conv(384, 3, 1, 1),
+            relu(),
+            L::conv(256, 3, 1, 1),
+            relu(),
+            L::conv(256, 3, 1, 1),
+            relu(),
+            L::maxpool(3, 2),
+        ],
+    );
+    // Classifier.
+    b.chain(
+        prev,
+        [
+            L::Flatten,
+            L::Dropout,
+            L::dense(4096),
+            relu(),
+            L::Dropout,
+            L::dense(4096),
+            relu(),
+            L::dense(1000),
+        ],
+    );
+    b.build().expect("alexnet definition is valid")
+}
+
+/// AlexNet as a line DNN (every layer a cut candidate).
+pub fn line() -> Result<LineDnn, GraphError> {
+    LineDnn::from_graph(&graph())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdnn_graph::cluster::cluster_virtual_blocks;
+
+    #[test]
+    fn is_line_structure() {
+        assert!(graph().is_line_structure());
+    }
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        // torchvision alexnet: 61,100,840 parameters.
+        assert_eq!(graph().total_params(), 61_100_840);
+    }
+
+    #[test]
+    fn flops_magnitude() {
+        // ~0.71 GMACs = ~1.43 GFLOPs for 224x224 (published profiling).
+        let gflops = graph().total_flops() as f64 / 1e9;
+        assert!(
+            (1.3..1.6).contains(&gflops),
+            "AlexNet FLOPs {gflops} GF out of expected band"
+        );
+    }
+
+    #[test]
+    fn feature_map_shapes() {
+        let g = graph();
+        let shapes: Vec<String> = g.nodes().iter().map(|n| n.output.to_string()).collect();
+        // conv1 output and final pool output (canonical checkpoints).
+        assert!(shapes.contains(&"[64, 55, 55]".to_string()));
+        assert!(shapes.contains(&"[256, 6, 6]".to_string()));
+        assert_eq!(shapes.last().unwrap(), "[1000]");
+    }
+
+    #[test]
+    fn clustered_volume_is_monotone() {
+        let l = line().unwrap();
+        let (clustered, _) = cluster_virtual_blocks(&l);
+        assert!(mcdnn_graph::cluster::is_strictly_decreasing_volume(
+            &clustered
+        ));
+        // AlexNet's natural blocks: pools and FCs shrink the volume; the
+        // clustered view should keep a useful number of cut candidates.
+        assert!(
+            clustered.k() >= 5,
+            "expected >=5 clustered blocks, got {}",
+            clustered.k()
+        );
+    }
+
+    #[test]
+    fn input_volume() {
+        assert_eq!(line().unwrap().input_bytes(), 3 * 224 * 224 * 4);
+    }
+}

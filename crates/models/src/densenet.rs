@@ -1,0 +1,186 @@
+//! DenseNet-121 (Huang et al.) — dense connectivity: every layer in a
+//! dense block consumes the channel-concatenation of *all* previous
+//! layers' outputs. A deliberate stress test for the graph machinery:
+//! each dense layer's input concat is an articulation point, but the
+//! accumulated feature maps keep growing inside a block, so the
+//! virtual-block clustering has to discard almost every interior cut —
+//! the admissible cuts concentrate at the transition layers, exactly
+//! where a human would put them.
+
+use mcdnn_graph::{
+    cluster_virtual_blocks, collapse_to_line, Activation, DnnGraph, GraphBuilder, GraphError,
+    LayerKind as L, LineDnn, NodeId, PoolKind, TensorShape,
+};
+
+/// Growth rate `k` of DenseNet-121.
+const GROWTH: usize = 32;
+
+/// One composite layer: BN → ReLU → 1×1 bottleneck (4k) → BN → ReLU →
+/// 3×3 conv (k); its output is concatenated onto the running features.
+fn dense_layer(b: &mut GraphBuilder, features: NodeId) -> NodeId {
+    let relu = || L::Act(Activation::ReLU);
+    let new = b.chain(
+        features,
+        [
+            L::BatchNorm,
+            relu(),
+            L::Conv2d {
+                out_channels: 4 * GROWTH,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                groups: 1,
+                bias: false,
+            },
+            L::BatchNorm,
+            relu(),
+            L::Conv2d {
+                out_channels: GROWTH,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+                bias: false,
+            },
+        ],
+    );
+    b.merge(&[features, new], L::Concat)
+}
+
+/// Transition layer: BN → 1×1 conv halving channels → 2×2 avg pool.
+fn transition(b: &mut GraphBuilder, input: NodeId, out_ch: usize) -> NodeId {
+    b.chain(
+        input,
+        [
+            L::BatchNorm,
+            L::Act(Activation::ReLU),
+            L::Conv2d {
+                out_channels: out_ch,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                groups: 1,
+                bias: false,
+            },
+            L::Pool2d {
+                kind: PoolKind::Avg,
+                kernel: 2,
+                stride: 2,
+                padding: 0,
+            },
+        ],
+    )
+}
+
+/// Build the DenseNet-121 DAG (blocks of 6/12/24/16 dense layers).
+pub fn graph() -> DnnGraph {
+    let mut b = DnnGraph::builder("densenet121");
+    let relu = || L::Act(Activation::ReLU);
+    let i = b.input(TensorShape::chw(3, 224, 224));
+    let mut prev = b.chain(
+        i,
+        [
+            L::Conv2d {
+                out_channels: 64,
+                kernel: 7,
+                stride: 2,
+                padding: 3,
+                groups: 1,
+                bias: false,
+            },
+            L::BatchNorm,
+            relu(),
+            L::Pool2d {
+                kind: PoolKind::Max,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+            },
+        ],
+    );
+    let mut channels = 64usize;
+    let blocks = [6usize, 12, 24, 16];
+    for (bi, &layers) in blocks.iter().enumerate() {
+        for _ in 0..layers {
+            prev = dense_layer(&mut b, prev);
+            channels += GROWTH;
+        }
+        if bi + 1 < blocks.len() {
+            channels /= 2;
+            prev = transition(&mut b, prev, channels);
+        }
+    }
+    b.chain(
+        prev,
+        [
+            L::BatchNorm,
+            relu(),
+            L::GlobalAvgPool,
+            L::Flatten,
+            L::dense(1000),
+        ],
+    );
+    b.build().expect("densenet121 definition is valid")
+}
+
+/// DenseNet-121 as a line DNN (articulation collapse + clustering).
+pub fn line() -> Result<LineDnn, GraphError> {
+    let collapsed = collapse_to_line(&graph())?;
+    let (clustered, _) = cluster_virtual_blocks(&collapsed);
+    Ok(clustered.with_name("densenet121"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_general_structure() {
+        assert!(!graph().is_line_structure());
+    }
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        // torchvision densenet121: 7,978,856 parameters.
+        assert_eq!(graph().total_params(), 7_978_856);
+    }
+
+    #[test]
+    fn flops_magnitude() {
+        // ~2.9 GMACs = ~5.7 GFLOPs.
+        let gflops = graph().total_flops() as f64 / 1e9;
+        assert!(
+            (5.0..6.5).contains(&gflops),
+            "DenseNet121 FLOPs {gflops} GF out of band"
+        );
+    }
+
+    #[test]
+    fn dense_block_channel_growth() {
+        let g = graph();
+        // After block 1: 64 + 6·32 = 256 channels at 56×56; transition
+        // halves to 128 at 28×28. Final features: 1024 at 7×7.
+        for (c, s) in [(256, 56), (128, 28), (512, 28), (1024, 7)] {
+            assert!(
+                g.nodes().iter().any(|n| n.output == TensorShape::chw(c, s, s)),
+                "missing [{c}, {s}, {s}]"
+            );
+        }
+    }
+
+    #[test]
+    fn clustering_concentrates_cuts_at_transitions() {
+        // Inside a dense block the accumulated concat only grows, so
+        // interior cuts are dominated; survivors sit at/after the
+        // down-sampling transitions. 58 dense/transition junctions
+        // collapse to a handful of candidates.
+        let l = line().unwrap();
+        assert!(
+            l.k() <= 10,
+            "expected few surviving cuts, got {}",
+            l.k()
+        );
+        assert!(mcdnn_graph::cluster::is_strictly_decreasing_volume(&l));
+        assert_eq!(l.total_flops(), graph().total_flops());
+    }
+}

@@ -1,0 +1,193 @@
+//! GoogLeNet (Szegedy et al.), the paper's general-structure workload
+//! (§6.1, Figs. 12, 14, Table 1).
+//!
+//! Nine Inception modules, each with four parallel branches joined by a
+//! `Filter Concat`. Unlike MobileNet bottlenecks, branch tensors *are*
+//! smaller than module boundaries, so the paper keeps GoogLeNet as a
+//! general DAG and partitions it with Alg. 3 (per-path cuts). The
+//! articulation chain (stem layers + every concat) still provides the
+//! line view used by single-cut baselines.
+
+use mcdnn_graph::{
+    cluster_virtual_blocks, collapse_to_line, Activation, DnnGraph, GraphError, GraphBuilder,
+    LayerKind as L, LineDnn, NodeId, PoolKind, TensorShape,
+};
+
+/// Inception module channel plan:
+/// `(#1x1, #3x3 reduce, #3x3, #5x5 reduce, #5x5, pool proj)`.
+type InceptionPlan = (usize, usize, usize, usize, usize, usize);
+
+/// The nine modules of GoogLeNet in order (3a..5b).
+const MODULES: [InceptionPlan; 9] = [
+    (64, 96, 128, 16, 32, 32),    // 3a -> 256
+    (128, 128, 192, 32, 96, 64),  // 3b -> 480
+    (192, 96, 208, 16, 48, 64),   // 4a -> 512
+    (160, 112, 224, 24, 64, 64),  // 4b -> 512
+    (128, 128, 256, 24, 64, 64),  // 4c -> 512
+    (112, 144, 288, 32, 64, 64),  // 4d -> 528
+    (256, 160, 320, 32, 128, 128), // 4e -> 832
+    (256, 160, 320, 32, 128, 128), // 5a -> 832
+    (384, 192, 384, 48, 128, 128), // 5b -> 1024
+];
+
+/// Append one Inception module; returns the concat node.
+fn inception(b: &mut GraphBuilder, input: NodeId, plan: InceptionPlan) -> NodeId {
+    let relu = || L::Act(Activation::ReLU);
+    let (c1, r3, c3, r5, c5, pp) = plan;
+    let b1 = b.chain(input, [L::conv(c1, 1, 1, 0), relu()]);
+    let b2 = b.chain(
+        input,
+        [L::conv(r3, 1, 1, 0), relu(), L::conv(c3, 3, 1, 1), relu()],
+    );
+    let b3 = b.chain(
+        input,
+        [L::conv(r5, 1, 1, 0), relu(), L::conv(c5, 5, 1, 2), relu()],
+    );
+    let b4 = b.chain(
+        input,
+        [
+            L::Pool2d {
+                kind: PoolKind::Max,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            L::conv(pp, 1, 1, 0),
+            relu(),
+        ],
+    );
+    b.merge(&[b1, b2, b3, b4], L::Concat)
+}
+
+/// Build the GoogLeNet DAG (general structure).
+pub fn graph() -> DnnGraph {
+    let mut b = DnnGraph::builder("googlenet");
+    let relu = || L::Act(Activation::ReLU);
+    let i = b.input(TensorShape::chw(3, 224, 224));
+    // Stem.
+    let mut prev = b.chain(
+        i,
+        [
+            L::Conv2d {
+                out_channels: 64,
+                kernel: 7,
+                stride: 2,
+                padding: 3,
+                groups: 1,
+                bias: true,
+            },
+            relu(),
+            L::Pool2d {
+                kind: PoolKind::Max,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+            },
+            L::Lrn,
+            L::conv(64, 1, 1, 0),
+            relu(),
+            L::conv(192, 3, 1, 1),
+            relu(),
+            L::Lrn,
+            L::Pool2d {
+                kind: PoolKind::Max,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+            },
+        ],
+    );
+    for (idx, plan) in MODULES.iter().enumerate() {
+        prev = inception(&mut b, prev, *plan);
+        // Grid reductions after 3b (idx 1) and 4e (idx 6).
+        if idx == 1 || idx == 6 {
+            prev = b.layer_after(
+                prev,
+                L::Pool2d {
+                    kind: PoolKind::Max,
+                    kernel: 3,
+                    stride: 2,
+                    padding: 1,
+                },
+            );
+        }
+    }
+    b.chain(
+        prev,
+        [L::GlobalAvgPool, L::Flatten, L::Dropout, L::dense(1000)],
+    );
+    b.build().expect("googlenet definition is valid")
+}
+
+/// GoogLeNet's line view: collapse onto the articulation chain (each
+/// Inception module becomes one layer) and cluster. Used by the PO
+/// baseline and as the coarse level of the general-structure partition.
+pub fn line() -> Result<LineDnn, GraphError> {
+    let collapsed = collapse_to_line(&graph())?;
+    let (clustered, _) = cluster_virtual_blocks(&collapsed);
+    Ok(clustered.with_name("googlenet"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdnn_graph::segments;
+
+    #[test]
+    fn is_general_structure() {
+        assert!(!graph().is_line_structure());
+    }
+
+    #[test]
+    fn parameter_count_matches_reference() {
+        // GoogLeNet main branch (no aux classifiers): ≈ 6.6 M params.
+        let m = graph().total_params() as f64 / 1e6;
+        assert!((5.9..7.2).contains(&m), "GoogLeNet params {m} M out of band");
+    }
+
+    #[test]
+    fn flops_magnitude() {
+        // ~1.5 GMACs = ~3 GFLOPs.
+        let gflops = graph().total_flops() as f64 / 1e9;
+        assert!(
+            (2.6..3.6).contains(&gflops),
+            "GoogLeNet FLOPs {gflops} GF out of band"
+        );
+    }
+
+    #[test]
+    fn module_output_channels() {
+        let g = graph();
+        for (c, s) in [(256, 28), (480, 28), (512, 14), (832, 7), (1024, 7)] {
+            assert!(
+                g.nodes().iter().any(|n| n.output == TensorShape::chw(c, s, s)),
+                "missing inception output [{c}, {s}, {s}]"
+            );
+        }
+    }
+
+    #[test]
+    fn each_module_is_a_segment_with_four_paths() {
+        let g = graph();
+        let segs = segments(&g).unwrap();
+        let branching: Vec<_> = segs.iter().filter(|s| !s.is_line()).collect();
+        assert_eq!(branching.len(), 9, "expected 9 inception segments");
+        for s in &branching {
+            assert_eq!(s.paths.len(), 4, "inception modules have 4 branches");
+        }
+    }
+
+    #[test]
+    fn line_view_properties() {
+        let l = line().unwrap();
+        assert!(mcdnn_graph::cluster::is_strictly_decreasing_volume(&l));
+        assert_eq!(l.total_flops(), graph().total_flops());
+        // GoogLeNet keeps only a handful of line cut candidates (the
+        // grid-reduction pools and the classifier head): inception
+        // outputs grow in channels faster than they shrink spatially, so
+        // most module boundaries are dominated. This scarcity is exactly
+        // why the paper treats GoogLeNet with the general-structure
+        // algorithm rather than the line algorithm.
+        assert!((3..=8).contains(&l.k()), "unexpected k = {}", l.k());
+    }
+}

@@ -1,0 +1,32 @@
+//! # mcdnn-models
+//!
+//! Model zoo: layer-exact DAG definitions of the DNN architectures the
+//! paper evaluates (AlexNet, MobileNet-v2, GoogLeNet, ResNet-18) plus
+//! the line-structure networks it cites as motivation (VGG-16, NiN,
+//! Tiny-YOLOv2) and an Inception-v4 module mirroring paper Fig. 3(a).
+//!
+//! Every model is built with [`mcdnn_graph`] shape inference, so tensor
+//! shapes, parameter counts and FLOPs are derived — not hard-coded — and
+//! validated against published reference values in tests.
+//!
+//! [`synthetic`] provides the paper's synthetic inputs: AlexNet′ (Fig. 11,
+//! communication volumes resampled from a fitted exponential curve) and
+//! parametric line DNN generators for property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alexnet;
+pub mod densenet;
+pub mod googlenet;
+pub mod inception;
+pub mod mobilenet;
+pub mod nin;
+pub mod resnet;
+pub mod squeezenet;
+pub mod synthetic;
+pub mod vgg;
+pub mod yolo;
+pub mod zoo;
+
+pub use zoo::Model;

@@ -1,0 +1,160 @@
+//! MobileNet-v2 (Sandler et al.), one of the paper's line-architecture
+//! workloads (§6.1, Figs. 10, 12, 13, Table 1).
+//!
+//! Strictly, MobileNet-v2 is not a line: inverted residual blocks with
+//! stride 1 and matching channels carry a bypass `Add` (paper Fig. 10).
+//! The paper observes that tensor sizes *inside* a bottleneck module are
+//! never smaller than at its boundary, so each module should be
+//! clustered as a virtual block and the network then treated as a line
+//! DAG. [`line()`] implements exactly that via the articulation-chain
+//! collapse ([`mcdnn_graph::collapse_to_line`]) followed by virtual-block
+//! clustering.
+
+use mcdnn_graph::{
+    cluster_virtual_blocks, collapse_to_line, Activation, DnnGraph, GraphError, LayerKind as L,
+    LineDnn, NodeId, TensorShape,
+};
+
+/// Inverted-residual stage plan `(expansion t, out channels c, repeats n,
+/// first stride s)` from Table 2 of the MobileNet-v2 paper.
+const STAGES: [(usize, usize, usize, usize); 7] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// Append one inverted residual block; returns the block output node.
+fn inverted_residual(
+    b: &mut mcdnn_graph::GraphBuilder,
+    input: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    expand: usize,
+) -> NodeId {
+    let relu6 = || L::Act(Activation::ReLU6);
+    let hidden = in_ch * expand;
+    let mut x = input;
+    if expand != 1 {
+        x = b.chain(x, [L::pointwise(hidden), L::BatchNorm, relu6()]);
+    }
+    x = b.chain(
+        x,
+        [
+            L::depthwise(hidden, 3, stride, 1),
+            L::BatchNorm,
+            relu6(),
+            L::pointwise(out_ch),
+            L::BatchNorm,
+        ],
+    );
+    if stride == 1 && in_ch == out_ch {
+        b.merge(&[input, x], L::Add)
+    } else {
+        x
+    }
+}
+
+/// Build the MobileNet-v2 DAG (general structure due to bypass links).
+pub fn graph() -> DnnGraph {
+    let mut b = DnnGraph::builder("mobilenet_v2");
+    let relu6 = || L::Act(Activation::ReLU6);
+    let i = b.input(TensorShape::chw(3, 224, 224));
+    let mut prev = b.chain(
+        i,
+        [
+            L::Conv2d {
+                out_channels: 32,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+                groups: 1,
+                bias: false,
+            },
+            L::BatchNorm,
+            relu6(),
+        ],
+    );
+    let mut in_ch = 32usize;
+    for (t, c, n, s) in STAGES {
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            prev = inverted_residual(&mut b, prev, in_ch, c, stride, t);
+            in_ch = c;
+        }
+    }
+    b.chain(
+        prev,
+        [
+            L::pointwise(1280),
+            L::BatchNorm,
+            relu6(),
+            L::GlobalAvgPool,
+            L::Flatten,
+            L::dense(1000),
+        ],
+    );
+    b.build().expect("mobilenet_v2 definition is valid")
+}
+
+/// MobileNet-v2 as a line DNN: modules collapsed onto the articulation
+/// chain, then virtual-block clustered so offload volume is strictly
+/// decreasing (the form the paper's partition algorithm consumes).
+pub fn line() -> Result<LineDnn, GraphError> {
+    let collapsed = collapse_to_line(&graph())?;
+    let (clustered, _) = cluster_virtual_blocks(&collapsed);
+    Ok(clustered.with_name("mobilenet_v2"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_general_structure() {
+        // Bypass links make the raw graph non-line.
+        assert!(!graph().is_line_structure());
+    }
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        // torchvision mobilenet_v2: 3,504,872 parameters.
+        assert_eq!(graph().total_params(), 3_504_872);
+    }
+
+    #[test]
+    fn flops_magnitude() {
+        // ~0.30 GMACs = ~0.6 GFLOPs.
+        let gflops = graph().total_flops() as f64 / 1e9;
+        assert!(
+            (0.55..0.75).contains(&gflops),
+            "MobileNetV2 FLOPs {gflops} GF out of band"
+        );
+    }
+
+    #[test]
+    fn bottleneck_shapes_match_fig10() {
+        // Paper Fig. 10: a 24-channel 56×56 module expands to 144 channels.
+        let g = graph();
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| n.output == TensorShape::chw(24, 56, 56)));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| n.output == TensorShape::chw(144, 56, 56)));
+    }
+
+    #[test]
+    fn line_view_is_monotone_and_conserves_flops() {
+        let l = line().unwrap();
+        assert!(mcdnn_graph::cluster::is_strictly_decreasing_volume(&l));
+        assert_eq!(l.total_flops(), graph().total_flops());
+        assert!(l.k() >= 4, "too few cut candidates: {}", l.k());
+    }
+}

@@ -1,0 +1,96 @@
+//! Network-in-Network (Lin et al.), cited by the paper as a
+//! line-structure DNN (§3.1). ImageNet variant: three mlpconv blocks
+//! plus a 1000-way mlpconv head with global average pooling.
+
+use mcdnn_graph::{Activation, DnnGraph, GraphError, LayerKind as L, LineDnn, NodeId, TensorShape};
+
+/// Build the NiN DAG (line structure).
+pub fn graph() -> DnnGraph {
+    let mut b = DnnGraph::builder("nin");
+    let relu = || L::Act(Activation::ReLU);
+    let mut prev: NodeId = b.input(TensorShape::chw(3, 224, 224));
+    // mlpconv 1: 11x11/4 then two 1x1 "micro MLP" convs.
+    prev = b.chain(
+        prev,
+        [
+            L::conv(96, 11, 4, 0),
+            relu(),
+            L::conv(96, 1, 1, 0),
+            relu(),
+            L::conv(96, 1, 1, 0),
+            relu(),
+            L::maxpool(3, 2),
+        ],
+    );
+    // mlpconv 2.
+    prev = b.chain(
+        prev,
+        [
+            L::conv(256, 5, 1, 2),
+            relu(),
+            L::conv(256, 1, 1, 0),
+            relu(),
+            L::conv(256, 1, 1, 0),
+            relu(),
+            L::maxpool(3, 2),
+        ],
+    );
+    // mlpconv 3.
+    prev = b.chain(
+        prev,
+        [
+            L::conv(384, 3, 1, 1),
+            relu(),
+            L::conv(384, 1, 1, 0),
+            relu(),
+            L::conv(384, 1, 1, 0),
+            relu(),
+            L::maxpool(3, 2),
+            L::Dropout,
+        ],
+    );
+    // Head: 1000-channel mlpconv + global average pooling.
+    b.chain(
+        prev,
+        [
+            L::conv(1024, 3, 1, 1),
+            relu(),
+            L::conv(1024, 1, 1, 0),
+            relu(),
+            L::conv(1000, 1, 1, 0),
+            relu(),
+            L::GlobalAvgPool,
+            L::Flatten,
+        ],
+    );
+    b.build().expect("nin definition is valid")
+}
+
+/// NiN as a line DNN.
+pub fn line() -> Result<LineDnn, GraphError> {
+    LineDnn::from_graph(&graph())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_line_structure() {
+        assert!(graph().is_line_structure());
+    }
+
+    #[test]
+    fn output_is_1000_way() {
+        let g = graph();
+        let sink = g.sinks()[0];
+        assert_eq!(g.node(sink).output, TensorShape::flat(1000));
+    }
+
+    #[test]
+    fn params_magnitude() {
+        // NiN-ImageNet ≈ 7.6 M parameters (no FC layers).
+        let m = graph().total_params() as f64 / 1e6;
+        assert!((6.0..9.0).contains(&m), "NiN params {m} M out of band");
+    }
+}

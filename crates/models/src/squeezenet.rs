@@ -1,0 +1,114 @@
+//! SqueezeNet 1.1 (Iandola et al.) — a compact general-structure
+//! network built from *fire modules*: a 1×1 squeeze conv feeding two
+//! parallel expand convs (1×1 and 3×3) joined by channel concat. Eight
+//! stacked two-branch segments make it a good mid-size test subject for
+//! the general-structure planner (richer than one Inception-C module,
+//! far smaller than GoogLeNet).
+
+use mcdnn_graph::{
+    cluster_virtual_blocks, collapse_to_line, Activation, DnnGraph, GraphBuilder, GraphError,
+    LayerKind as L, LineDnn, NodeId, PoolKind, TensorShape,
+};
+
+/// Append one fire module; returns the concat node.
+fn fire(b: &mut GraphBuilder, input: NodeId, squeeze: usize, expand: usize) -> NodeId {
+    let relu = || L::Act(Activation::ReLU);
+    let s = b.chain(input, [L::conv(squeeze, 1, 1, 0), relu()]);
+    let e1 = b.chain(s, [L::conv(expand, 1, 1, 0), relu()]);
+    let e3 = b.chain(s, [L::conv(expand, 3, 1, 1), relu()]);
+    b.merge(&[e1, e3], L::Concat)
+}
+
+/// Build the SqueezeNet 1.1 DAG.
+pub fn graph() -> DnnGraph {
+    let mut b = DnnGraph::builder("squeezenet1_1");
+    let relu = || L::Act(Activation::ReLU);
+    let pool = || L::Pool2d {
+        kind: PoolKind::Max,
+        kernel: 3,
+        stride: 2,
+        padding: 0,
+    };
+    let i = b.input(TensorShape::chw(3, 224, 224));
+    let mut prev = b.chain(i, [L::conv(64, 3, 2, 0), relu(), pool()]);
+    prev = fire(&mut b, prev, 16, 64);
+    prev = fire(&mut b, prev, 16, 64);
+    prev = b.layer_after(prev, pool());
+    prev = fire(&mut b, prev, 32, 128);
+    prev = fire(&mut b, prev, 32, 128);
+    prev = b.layer_after(prev, pool());
+    prev = fire(&mut b, prev, 48, 192);
+    prev = fire(&mut b, prev, 48, 192);
+    prev = fire(&mut b, prev, 64, 256);
+    prev = fire(&mut b, prev, 64, 256);
+    b.chain(
+        prev,
+        [
+            L::Dropout,
+            L::conv(1000, 1, 1, 0),
+            relu(),
+            L::GlobalAvgPool,
+            L::Flatten,
+        ],
+    );
+    b.build().expect("squeezenet definition is valid")
+}
+
+/// SqueezeNet as a line DNN (articulation collapse + clustering).
+pub fn line() -> Result<LineDnn, GraphError> {
+    let collapsed = collapse_to_line(&graph())?;
+    let (clustered, _) = cluster_virtual_blocks(&collapsed);
+    Ok(clustered.with_name("squeezenet1_1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdnn_graph::segments;
+
+    #[test]
+    fn is_general_structure() {
+        assert!(!graph().is_line_structure());
+    }
+
+    #[test]
+    fn parameter_count_matches_torchvision() {
+        // torchvision squeezenet1_1: 1,235,496 parameters.
+        assert_eq!(graph().total_params(), 1_235_496);
+    }
+
+    #[test]
+    fn flops_magnitude() {
+        // ~0.35 GMACs = ~0.7 GFLOPs.
+        let gflops = graph().total_flops() as f64 / 1e9;
+        assert!(
+            (0.55..0.85).contains(&gflops),
+            "SqueezeNet FLOPs {gflops} GF out of band"
+        );
+    }
+
+    #[test]
+    fn eight_fire_segments_with_two_branches() {
+        let g = graph();
+        let segs = segments(&g).unwrap();
+        let branching: Vec<_> = segs.iter().filter(|s| !s.is_line()).collect();
+        assert_eq!(branching.len(), 8, "eight fire modules");
+        for s in &branching {
+            assert_eq!(s.paths.len(), 2, "fire modules have two expand branches");
+        }
+    }
+
+    #[test]
+    fn line_view_properties() {
+        let l = line().unwrap();
+        assert!(mcdnn_graph::cluster::is_strictly_decreasing_volume(&l));
+        assert_eq!(l.total_flops(), graph().total_flops());
+    }
+
+    #[test]
+    fn final_output_is_1000_way() {
+        let g = graph();
+        let sink = g.sinks()[0];
+        assert_eq!(g.node(sink).output, TensorShape::flat(1000));
+    }
+}

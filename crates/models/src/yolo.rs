@@ -1,0 +1,106 @@
+//! Tiny YOLOv2 (Redmon & Farhadi), cited by the paper as a
+//! line-structure detection network (§3.1). Darknet reference config:
+//! six 3×3 conv + maxpool stages doubling channels 16→512, two 1024
+//! channel 3×3 convs, and a 1×1 detection head (125 = 5 anchors ×
+//! (5 + 20 VOC classes)).
+
+use mcdnn_graph::{Activation, DnnGraph, GraphError, LayerKind as L, LineDnn, NodeId, TensorShape};
+
+/// Build the Tiny-YOLOv2 DAG (line structure, 416×416 input).
+pub fn graph() -> DnnGraph {
+    let mut b = DnnGraph::builder("tiny_yolov2");
+    let lrelu = || L::Act(Activation::ReLU); // leaky ReLU costed as ReLU
+    let mut prev: NodeId = b.input(TensorShape::chw(3, 416, 416));
+    for channels in [16usize, 32, 64, 128, 256] {
+        prev = b.chain(
+            prev,
+            [
+                L::Conv2d {
+                    out_channels: channels,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    bias: false,
+                },
+                L::BatchNorm,
+                lrelu(),
+                L::maxpool(2, 2),
+            ],
+        );
+    }
+    // Sixth stage: darknet pools with stride 1 "same" here; a 3×3/1 pad 1
+    // max pool keeps the 13×13 grid, matching the reference output size.
+    prev = b.chain(
+        prev,
+        [
+            L::Conv2d {
+                out_channels: 512,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+                bias: false,
+            },
+            L::BatchNorm,
+            lrelu(),
+            L::Pool2d {
+                kind: mcdnn_graph::PoolKind::Max,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+        ],
+    );
+    for _ in 0..2 {
+        prev = b.chain(
+            prev,
+            [
+                L::Conv2d {
+                    out_channels: 1024,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    bias: false,
+                },
+                L::BatchNorm,
+                lrelu(),
+            ],
+        );
+    }
+    b.layer_after(prev, L::conv(125, 1, 1, 0));
+    b.build().expect("tiny yolo definition is valid")
+}
+
+/// Tiny-YOLOv2 as a line DNN.
+pub fn line() -> Result<LineDnn, GraphError> {
+    LineDnn::from_graph(&graph())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_line_structure() {
+        assert!(graph().is_line_structure());
+    }
+
+    #[test]
+    fn detection_grid_is_13x13() {
+        let g = graph();
+        let sink = g.sinks()[0];
+        assert_eq!(g.node(sink).output, TensorShape::chw(125, 13, 13));
+    }
+
+    #[test]
+    fn flops_magnitude() {
+        // Tiny YOLOv2 ≈ 3.5 GMACs = ~7 GFLOPs at 416².
+        let gflops = graph().total_flops() as f64 / 1e9;
+        assert!(
+            (6.0..9.0).contains(&gflops),
+            "TinyYOLO FLOPs {gflops} GF out of band"
+        );
+    }
+}

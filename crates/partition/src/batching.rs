@@ -1,0 +1,191 @@
+//! Batching policy: how many frames to accumulate before dispatching a
+//! JPS-planned batch.
+//!
+//! A periodic frame source (period `T`) can dispatch every frame alone
+//! (`b = 1`) or accumulate `b` frames and run them as one pipelined
+//! batch. Waiting for the batch to fill costs `(b−1−i)·T` for frame
+//! `i`; in exchange, one network channel serves the whole batch, so the
+//! per-transfer setup latency `w0` (the paper's regression intercept,
+//! §6.1) is paid once per batch instead of once per job.
+//!
+//! At leisurely frame rates batching only adds waiting and `b = 1`
+//! wins. At high rates the picture flips: per-frame dispatch pays `w0`
+//! on every upload and may not keep up at all, while a batch amortises
+//! `w0` once per batch and pipelines the rest — batching becomes
+//! *necessary* for stability, not just profitable. This module
+//! evaluates the trade-off exactly through the Gantt of the amortised
+//! batch plan.
+
+use mcdnn_profile::CostProfile;
+
+use crate::jps::jps_best_mix_plan;
+
+/// Evaluation of one batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchChoice {
+    /// Frames per batch.
+    pub batch_size: usize,
+    /// Mean frame sojourn (arrival → completion), ms.
+    pub mean_sojourn_ms: f64,
+    /// Worst frame sojourn, ms.
+    pub max_sojourn_ms: f64,
+    /// Amortised batch makespan, ms.
+    pub batch_makespan_ms: f64,
+    /// True when consecutive batches don't pile up
+    /// (`batch_makespan ≤ b·T`).
+    pub stable: bool,
+}
+
+/// Evaluate batch size `b` for frames arriving every `period_ms`, with
+/// per-transfer setup `setup_ms` amortised to once per batch.
+pub fn evaluate_batch(
+    profile: &CostProfile,
+    b: usize,
+    period_ms: f64,
+    setup_ms: f64,
+) -> BatchChoice {
+    assert!(b >= 1, "batch size must be >= 1");
+    assert!(period_ms > 0.0, "period must be positive");
+    assert!(setup_ms >= 0.0, "setup cannot be negative");
+    let plan = jps_best_mix_plan(profile, b);
+    let mut jobs = plan.jobs(profile);
+    // Amortise the channel setup: every offloading job after the first
+    // in processing order reuses the batch's connection.
+    let mut first_offload_seen = false;
+    for &idx in &plan.order {
+        if jobs[idx].comm_ms > 0.0 {
+            if first_offload_seen {
+                jobs[idx].comm_ms = (jobs[idx].comm_ms - setup_ms).max(0.0);
+            }
+            first_offload_seen = true;
+        }
+    }
+    let gantt = mcdnn_flowshop::gantt(&jobs, &plan.order);
+    let mut completions: Vec<f64> = gantt.completion_times().iter().map(|&(_, t)| t).collect();
+    completions.sort_by(f64::total_cmp);
+    let batch_makespan_ms = completions.last().copied().unwrap_or(0.0);
+
+    // Frame i (0-based) arrives at i·T; the batch dispatches when the
+    // last frame lands, so frame i waits (b−1−i)·T. Earliest arrivals
+    // take the earliest completions (frames are interchangeable).
+    let mut sum = 0.0;
+    let mut worst = 0.0f64;
+    for (i, &c) in completions.iter().enumerate() {
+        let sojourn = (b - 1 - i) as f64 * period_ms + c;
+        sum += sojourn;
+        worst = worst.max(sojourn);
+    }
+    BatchChoice {
+        batch_size: b,
+        mean_sojourn_ms: sum / b as f64,
+        max_sojourn_ms: worst,
+        batch_makespan_ms,
+        stable: batch_makespan_ms <= b as f64 * period_ms + 1e-9,
+    }
+}
+
+/// The batch size in `1..=b_max` minimising mean frame sojourn among
+/// stable choices. `None` when no batch size is stable (the source
+/// out-runs the pipeline at every `b`).
+pub fn best_batch_size(
+    profile: &CostProfile,
+    period_ms: f64,
+    setup_ms: f64,
+    b_max: usize,
+) -> Option<BatchChoice> {
+    (1..=b_max)
+        .map(|b| evaluate_batch(profile, b, period_ms, setup_ms))
+        .filter(|c| c.stable)
+        .min_by(|a, b| a.mean_sojourn_ms.total_cmp(&b.mean_sojourn_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A profile whose g values embed a `setup` intercept (as
+    /// `CostProfile::evaluate` would produce): g = setup + transfer.
+    /// Local-only (cut 3) is deliberately slow so offloading is the
+    /// only viable policy.
+    fn profile_with_setup(setup: f64) -> CostProfile {
+        let transfer = [f64::NAN, 30.0, 12.0]; // per-cut payload time
+        let f = vec![0.0, 10.0, 25.0, 400.0];
+        let g = vec![
+            setup + 80.0,
+            setup + transfer[1],
+            setup + transfer[2],
+            0.0,
+        ];
+        CostProfile::from_vectors("b", f, g, None)
+    }
+
+    #[test]
+    fn slow_source_dispatches_per_frame() {
+        // At a leisurely 100 ms period, waiting for extra frames can
+        // never pay: per-frame dispatch wins with or without setup.
+        for setup in [0.0, 60.0] {
+            let p = profile_with_setup(setup);
+            let best = best_batch_size(&p, 100.0, setup, 8).unwrap();
+            assert_eq!(best.batch_size, 1, "setup = {setup}");
+        }
+    }
+
+    #[test]
+    fn fast_source_requires_batching() {
+        // 30 ms period with w0 = 60 ms: per-frame dispatch cannot keep
+        // up (every job pays the setup), but batches amortise w0 across
+        // frames and become stable.
+        let setup = 60.0;
+        let p = profile_with_setup(setup);
+        let single = evaluate_batch(&p, 1, 30.0, setup);
+        assert!(!single.stable, "b = 1 must be unstable at this rate");
+        let best = best_batch_size(&p, 30.0, setup, 16).expect("some batch is stable");
+        assert!(best.batch_size > 1, "got b = {}", best.batch_size);
+        assert!(best.stable);
+    }
+
+    #[test]
+    fn setup_amortisation_extends_the_stable_range() {
+        // Without amortisation every job carries the 60 ms setup inside
+        // g, so no batch size sustains a 30 ms period at all; with the
+        // batch reusing one connection, a stable batch exists.
+        let setup = 60.0;
+        let p = profile_with_setup(setup);
+        let min_stable_amortised =
+            (1..=16).find(|&b| evaluate_batch(&p, b, 30.0, setup).stable);
+        let min_stable_naive = (1..=16).find(|&b| evaluate_batch(&p, b, 30.0, 0.0).stable);
+        assert!(min_stable_amortised.is_some());
+        assert_eq!(min_stable_naive, None, "per-job setup can never keep up");
+    }
+
+    #[test]
+    fn stability_filter_works() {
+        // Period far shorter than any cut's bottleneck: nothing stable.
+        let p = profile_with_setup(10.0);
+        assert!(best_batch_size(&p, 0.5, 10.0, 6).is_none());
+    }
+
+    #[test]
+    fn amortisation_reduces_batch_makespan() {
+        let p = profile_with_setup(40.0);
+        let with = evaluate_batch(&p, 4, 200.0, 40.0);
+        let without = evaluate_batch(&p, 4, 200.0, 0.0);
+        assert!(with.batch_makespan_ms <= without.batch_makespan_ms + 1e-9);
+    }
+
+    #[test]
+    fn sojourns_account_for_waiting() {
+        let p = profile_with_setup(0.0);
+        let b2 = evaluate_batch(&p, 2, 100.0, 0.0);
+        let b1 = evaluate_batch(&p, 1, 100.0, 0.0);
+        // The first frame of a 2-batch waits a full period extra.
+        assert!(b2.mean_sojourn_ms > b1.mean_sojourn_ms);
+        assert!(b2.max_sojourn_ms >= 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be >= 1")]
+    fn zero_batch_rejected() {
+        evaluate_batch(&profile_with_setup(0.0), 0, 100.0, 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Flow-time-aware planning: choose cuts (and order) to minimise the
+//! *mean* job completion time instead of the makespan.
+//!
+//! The paper's makespan objective maximises throughput of the batch;
+//! an interactive application (AR overlay per frame) cares about how
+//! long the average frame waits. The two objectives disagree: makespan
+//! planning happily front-loads comm-heavy jobs whose own completion is
+//! late, because they keep the uplink busy. This planner evaluates the
+//! same candidate family by total flow time under the flow-time
+//! heuristics of [`mcdnn_flowshop::flowtime`].
+
+use mcdnn_flowshop::flowtime::{flowtime_order, total_flowtime};
+use mcdnn_profile::CostProfile;
+
+use crate::alg2::binary_search_cut;
+use crate::plan::{jobs_for_cuts, Plan, Strategy};
+
+/// A plan optimised for mean completion.
+#[derive(Debug, Clone)]
+pub struct FlowtimePlan {
+    /// Cuts and order (the `Plan.makespan_ms` field holds the plan's
+    /// makespan under this order, which may exceed the JPS optimum).
+    pub plan: Plan,
+    /// Mean job completion, ms.
+    pub mean_completion_ms: f64,
+}
+
+/// Plan `n` jobs minimising mean completion over the JPS candidate
+/// family (uniform cuts + adjacent two-type mixes), each scheduled by
+/// the flow-time heuristic.
+pub fn flowtime_jps_plan(profile: &CostProfile, n: usize) -> FlowtimePlan {
+    let mut candidate_cut_sets: Vec<Vec<usize>> =
+        (0..=profile.k()).map(|l| vec![l; n]).collect();
+    let search = binary_search_cut(profile);
+    if let Some(prev) = search.l_prev {
+        let ms: Vec<usize> = if n <= 24 {
+            (1..n).collect()
+        } else {
+            (1..24).map(|i| n * i / 24).filter(|&m| m > 0 && m < n).collect()
+        };
+        for m in ms {
+            let mut cuts = vec![prev; m];
+            cuts.extend(std::iter::repeat_n(search.l_star, n - m));
+            candidate_cut_sets.push(cuts);
+        }
+    }
+    let mut best: Option<FlowtimePlan> = None;
+    for cuts in candidate_cut_sets {
+        let jobs = jobs_for_cuts(profile, &cuts);
+        let order = flowtime_order(&jobs);
+        let mean = if n == 0 {
+            0.0
+        } else {
+            total_flowtime(&jobs, &order) / n as f64
+        };
+        let makespan_ms = mcdnn_flowshop::makespan(&jobs, &order);
+        let plan = Plan {
+            strategy: Strategy::Jps,
+            cuts,
+            order,
+            makespan_ms,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| mean < b.mean_completion_ms)
+        {
+            best = Some(FlowtimePlan {
+                plan,
+                mean_completion_ms: mean,
+            });
+        }
+    }
+    best.expect("k + 1 >= 1 candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jps::jps_best_mix_plan;
+
+    fn profile() -> CostProfile {
+        CostProfile::from_vectors(
+            "ft",
+            vec![0.0, 10.0, 40.0, 120.0],
+            vec![200.0, 60.0, 20.0, 0.0],
+            None,
+        )
+    }
+
+    #[test]
+    fn beats_or_ties_makespan_plan_on_mean_completion() {
+        let p = profile();
+        for n in [1usize, 5, 12, 30] {
+            let ft = flowtime_jps_plan(&p, n);
+            let ms = jps_best_mix_plan(&p, n);
+            let ms_mean = ms.average_completion_ms(&p);
+            assert!(
+                ft.mean_completion_ms <= ms_mean + 1e-6,
+                "n={n}: flowtime {} vs makespan-plan mean {ms_mean}",
+                ft.mean_completion_ms
+            );
+        }
+    }
+
+    #[test]
+    fn never_beats_jps_on_makespan() {
+        // The converse ordering: JPS* is makespan-optimal over the same
+        // family.
+        let p = profile();
+        for n in [3usize, 10] {
+            let ft = flowtime_jps_plan(&p, n);
+            let ms = jps_best_mix_plan(&p, n);
+            assert!(ft.plan.makespan_ms >= ms.makespan_ms - 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_jobs() {
+        let p = profile();
+        let ft = flowtime_jps_plan(&p, 0);
+        assert_eq!(ft.mean_completion_ms, 0.0);
+    }
+}

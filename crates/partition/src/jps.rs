@@ -1,0 +1,258 @@
+//! JPS — the paper's joint partition + scheduling planner.
+//!
+//! 1. Run Alg. 2 to locate `l*` (left-most cut with `f ≥ g`) and the
+//!    mixing ratio between cut types `l*−1` and `l*`.
+//! 2. Assign cuts: exact balance (`f(l*) = g(l*)`) or `l* = 0` ⇒ all
+//!    jobs at `l*` (Theorem 5.2's discrete image); otherwise mix the
+//!    two adjacent types per the ratio (Theorem 5.3).
+//! 3. Schedule with Johnson's rule (Alg. 1).
+//!
+//! [`jps_best_mix_plan`] replaces the closed-form ratio with an `O(n)`
+//! scan over every mix count — never worse than the ratio plan, used to
+//! quantify how much the closed form gives away (ablation bench).
+
+use mcdnn_profile::CostProfile;
+
+use crate::alg2::binary_search_cut;
+use crate::plan::{Plan, Strategy};
+
+/// Number of jobs cut at each of the two types for a given ratio.
+///
+/// With ratio `r`, groups of `r` jobs at `l*−1` pair with 1 job at
+/// `l*`; remainders go to `l*` (the computation-heavy side, whose
+/// surplus the paper's condition assumes is the larger).
+fn split_by_ratio(n: usize, ratio: usize) -> (usize, usize) {
+    // (count at l*-1, count at l*)
+    let group = ratio + 1;
+    let full_groups = n / group;
+    let remainder = n % group;
+    (full_groups * ratio, full_groups + remainder)
+}
+
+/// The ratio-mix cut assignment of the paper's Alg. 2 line 9.
+fn ratio_mix_cuts(profile: &CostProfile, n: usize) -> Vec<usize> {
+    let search = binary_search_cut(profile);
+    let l_star = search.l_star;
+    match (search.l_prev, search.ratio) {
+        // l* = 0, exact balance, or degenerate denominator: one type.
+        (None, _) | (_, None) => vec![l_star; n],
+        (Some(prev), Some(ratio)) => {
+            if ratio == 0 {
+                vec![l_star; n]
+            } else {
+                let (at_prev, at_star) = split_by_ratio(n, ratio);
+                let mut cuts = vec![prev; at_prev];
+                cuts.extend(std::iter::repeat_n(l_star, at_star));
+                cuts
+            }
+        }
+    }
+}
+
+/// The paper's JPS plan for `n` homogeneous jobs.
+///
+/// Candidates evaluated, all scheduled by Johnson's rule:
+///
+/// 1. the uniform cut at every layer `l ∈ 0..=k` (Theorem 5.2's family
+///    — "partition all DNNs at the same layer" — swept exhaustively,
+///    `O(k)` with `k` tiny after clustering);
+/// 2. the two-type ratio mix around `l*` from Alg. 2 (Theorem 5.3);
+/// 3. a proportional variant of the mix (`⌈n·r/(r+1)⌉` at `l*−1`),
+///    which handles `n` smaller than one ratio group.
+///
+/// The best candidate wins. Candidate 1 makes JPS dominate PO by
+/// construction (PO's cut is one of the uniform candidates); candidates
+/// 2–3 add the pipelining gain the paper's theorems describe. Real
+/// profiles can violate the theorems' smoothness conditions (drastic
+/// jumps between adjacent clustered blocks), which is why the sweep is
+/// kept rather than trusting `l*` alone.
+///
+/// ```
+/// use mcdnn_partition::{jps_plan, local_only_plan};
+/// use mcdnn_profile::CostProfile;
+///
+/// let profile = CostProfile::from_vectors(
+///     "demo",
+///     vec![0.0, 4.0, 7.0, 20.0],
+///     vec![99.0, 6.0, 2.0, 0.0],
+///     None,
+/// );
+/// let jps = jps_plan(&profile, 10);
+/// let lo = local_only_plan(&profile, 10);
+/// assert!(jps.makespan_ms < lo.makespan_ms);
+/// assert_eq!(jps.cuts.len(), 10);
+/// ```
+pub fn jps_plan(profile: &CostProfile, n: usize) -> Plan {
+    let mut best: Option<Plan> = None;
+    let mut consider = |cuts: Vec<usize>| {
+        let plan = Plan::from_cuts(Strategy::Jps, profile, cuts);
+        if best.as_ref().is_none_or(|b| plan.makespan_ms < b.makespan_ms) {
+            best = Some(plan);
+        }
+    };
+    for l in 0..=profile.k() {
+        consider(vec![l; n]);
+    }
+    consider(ratio_mix_cuts(profile, n));
+    let search = binary_search_cut(profile);
+    if let (Some(prev), Some(ratio)) = (search.l_prev, search.ratio) {
+        if ratio > 0 && n > 0 {
+            let at_prev =
+                (((n * ratio) as f64 / (ratio + 1) as f64).round() as usize).min(n);
+            let mut cuts = vec![prev; at_prev];
+            cuts.extend(std::iter::repeat_n(search.l_star, n - at_prev));
+            consider(cuts);
+        }
+    }
+    best.expect("k + 1 >= 1 uniform candidates evaluated")
+}
+
+/// JPS with the mix count chosen by exhaustive scan: for every
+/// `m ∈ 0..=n`, evaluate `m` jobs at `l*−1` and `n−m` at `l*`, keep the
+/// best. `O(n²)` in total (each evaluation is `O(n)` after sorting two
+/// constant job classes), still microseconds at the paper's `n = 100`.
+pub fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
+    let mut best = {
+        let mut p = jps_plan(profile, n);
+        p.strategy = Strategy::JpsBestMix;
+        p
+    };
+    let search = binary_search_cut(profile);
+    let Some(prev) = search.l_prev else {
+        return best;
+    };
+    for m in 0..=n {
+        let mut cuts = vec![prev; m];
+        cuts.extend(std::iter::repeat_n(search.l_star, n - m));
+        let plan = Plan::from_cuts(Strategy::JpsBestMix, profile, cuts);
+        if plan.makespan_ms < best.makespan_ms {
+            best = plan;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(f: Vec<f64>, g: Vec<f64>) -> CostProfile {
+        CostProfile::from_vectors("t", f, g, None)
+    }
+
+    #[test]
+    fn split_by_ratio_partitions_n() {
+        for n in 0..50 {
+            for r in 1..6 {
+                let (a, b) = split_by_ratio(n, r);
+                assert_eq!(a + b, n, "n={n} r={r}");
+                if n % (r + 1) == 0 && n > 0 {
+                    assert_eq!(a, n / (r + 1) * r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_example_mixed_cuts() {
+        // Cuts available: l1 = (4, 6), l2 = (7, 2); k = 3 so that the
+        // local-only endpoint exists. l* = 2, ratio = floor(5/2) = 2.
+        let p = profile(vec![0.0, 4.0, 7.0, 20.0], vec![9.0, 6.0, 2.0, 0.0]);
+        let plan = jps_plan(&p, 2);
+        // n = 2, ratio 2 -> group size 3 -> 0 full groups: both at l*.
+        // (The ratio balances *accumulated* difference for larger n.)
+        assert_eq!(plan.n(), 2);
+        // Best-mix finds the true optimum 13 with one job each.
+        let best = jps_best_mix_plan(&p, 2);
+        assert_eq!(best.makespan_ms, 13.0);
+        let mut cuts = best.cuts.clone();
+        cuts.sort_unstable();
+        assert_eq!(cuts, vec![1, 2]);
+    }
+
+    #[test]
+    fn exact_balance_uses_one_cut() {
+        let p = profile(vec![0.0, 3.0, 6.0, 8.0], vec![20.0, 9.0, 6.0, 0.0]);
+        let plan = jps_plan(&p, 10);
+        assert!(plan.cuts.iter().all(|&c| c == 2));
+        // Perfect pipeline: makespan = n·f(l*) + g(l*) = 60 + 6 = 66.
+        assert_eq!(plan.makespan_ms, 66.0);
+    }
+
+    #[test]
+    fn best_mix_never_worse_than_ratio_plan() {
+        let profiles = [
+            profile(vec![0.0, 4.0, 7.0, 20.0], vec![9.0, 6.0, 2.0, 0.0]),
+            profile(vec![0.0, 2.0, 9.0, 11.0], vec![12.0, 8.0, 1.0, 0.0]),
+            profile(vec![0.0, 1.0, 2.0, 30.0], vec![5.0, 4.0, 3.0, 0.0]),
+        ];
+        for p in &profiles {
+            for n in [1usize, 2, 3, 5, 8, 13, 50] {
+                let ratio_plan = jps_plan(p, n);
+                let best = jps_best_mix_plan(p, n);
+                assert!(
+                    best.makespan_ms <= ratio_plan.makespan_ms + 1e-9,
+                    "n={n}: best {} > ratio {}",
+                    best.makespan_ms,
+                    ratio_plan.makespan_ms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jps_uses_at_most_two_adjacent_cut_types() {
+        // Theorem 5.3: two adjacent partition types suffice; the JPS
+        // candidates never mix anything else.
+        let p = profile(vec![0.0, 4.0, 7.0, 20.0], vec![9.0, 6.0, 2.0, 0.0]);
+        for n in [1usize, 4, 9, 100] {
+            let plan = jps_plan(&p, n);
+            let mut distinct: Vec<usize> = plan.cuts.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(distinct.len() <= 2, "n={n}: {distinct:?}");
+            if let [a, b] = distinct[..] {
+                assert_eq!(b, a + 1, "mixed cuts must be adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem53_instance_reaches_perfect_pipeline() {
+        // Construct the Theorem 5.3 conditions exactly:
+        // f(l*-1)+f(l*) = g(l*-1)+g(l*) and g(l*-1) = f(l*).
+        // E.g. f = (4, 6), g = (6, 4) at cuts 1, 2.
+        let p = profile(vec![0.0, 4.0, 6.0, 30.0], vec![8.0, 6.0, 4.0, 0.0]);
+        assert!(crate::continuous::theorem53_condition(&p, 2));
+        let best = jps_best_mix_plan(&p, 10);
+        // Half-half mix: ratio = floor((6-4)/(6-4)) = 1.
+        let ratio_plan = jps_plan(&p, 10);
+        assert_eq!(
+            ratio_plan.cuts.iter().filter(|&&c| c == 1).count(),
+            5
+        );
+        assert!((best.makespan_ms - ratio_plan.makespan_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_jobs() {
+        let p = profile(vec![0.0, 4.0], vec![3.0, 0.0]);
+        let plan = jps_plan(&p, 0);
+        assert_eq!(plan.makespan_ms, 0.0);
+        assert!(plan.cuts.is_empty());
+    }
+
+    #[test]
+    fn large_n_average_makespan_approaches_max_mean() {
+        // §4.2: (max τ)/n -> max(mean f, mean g) as n grows.
+        let p = profile(vec![0.0, 4.0, 7.0, 20.0], vec![9.0, 6.0, 2.0, 0.0]);
+        let plan = jps_best_mix_plan(&p, 400);
+        let per_job = plan.average_makespan_ms();
+        let mean_f: f64 =
+            plan.cuts.iter().map(|&c| p.f(c)).sum::<f64>() / plan.n() as f64;
+        let mean_g: f64 =
+            plan.cuts.iter().map(|&c| p.g(c)).sum::<f64>() / plan.n() as f64;
+        let limit = mean_f.max(mean_g);
+        assert!((per_job - limit).abs() / limit < 0.02, "{per_job} vs {limit}");
+    }
+}

@@ -1,0 +1,159 @@
+//! The uniform output of every partition+scheduling strategy.
+
+use mcdnn_flowshop::{gantt, johnson_order, makespan, FlowJob, Gantt};
+use mcdnn_profile::CostProfile;
+
+/// Which planner produced a [`Plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// All jobs fully on the mobile device (paper's LO).
+    LocalOnly,
+    /// All jobs fully offloaded (paper's CO).
+    CloudOnly,
+    /// Single-DNN optimal cut applied uniformly (paper's PO, the
+    /// Neurosurgeon/DADS baseline).
+    PartitionOnly,
+    /// The paper's joint partition + scheduling (Alg. 2 + Alg. 1).
+    Jps,
+    /// JPS with the two-type mix chosen by exhaustive scan instead of
+    /// the closed-form ratio (our refinement; never worse).
+    JpsBestMix,
+    /// Exact joint optimum by enumeration (paper's BF, small `n`).
+    BruteForce,
+}
+
+impl Strategy {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::LocalOnly => "LO",
+            Strategy::CloudOnly => "CO",
+            Strategy::PartitionOnly => "PO",
+            Strategy::Jps => "JPS",
+            Strategy::JpsBestMix => "JPS*",
+            Strategy::BruteForce => "BF",
+        }
+    }
+}
+
+/// A complete decision for `n` homogeneous jobs: where each job is cut
+/// and in which order the mobile device processes them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Strategy that produced this plan.
+    pub strategy: Strategy,
+    /// Per-job cut points (`cuts[j] ∈ 0..=k`), indexed by job id.
+    pub cuts: Vec<usize>,
+    /// Processing order (job ids), Johnson-optimal for the cuts.
+    pub order: Vec<usize>,
+    /// Makespan of the plan in ms.
+    pub makespan_ms: f64,
+}
+
+impl Plan {
+    /// Assemble a plan from cuts: builds the stage durations, applies
+    /// Johnson's rule, evaluates the makespan.
+    pub fn from_cuts(strategy: Strategy, profile: &CostProfile, cuts: Vec<usize>) -> Plan {
+        let jobs = jobs_for_cuts(profile, &cuts);
+        let order = johnson_order(&jobs);
+        let makespan_ms = makespan(&jobs, &order);
+        Plan {
+            strategy,
+            cuts,
+            order,
+            makespan_ms,
+        }
+    }
+
+    /// Number of jobs.
+    pub fn n(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Average makespan per job, the paper's `(max_j τ_j) / n` (§4.2).
+    pub fn average_makespan_ms(&self) -> f64 {
+        if self.cuts.is_empty() {
+            0.0
+        } else {
+            self.makespan_ms / self.n() as f64
+        }
+    }
+
+    /// The flow-shop jobs this plan induces.
+    pub fn jobs(&self, profile: &CostProfile) -> Vec<FlowJob> {
+        jobs_for_cuts(profile, &self.cuts)
+    }
+
+    /// Full Gantt trace of the plan.
+    pub fn gantt(&self, profile: &CostProfile) -> Gantt {
+        gantt(&self.jobs(profile), &self.order)
+    }
+
+    /// Mean per-job completion time under the plan.
+    pub fn average_completion_ms(&self, profile: &CostProfile) -> f64 {
+        mcdnn_flowshop::average_completion_ms(&self.jobs(profile), &self.order)
+    }
+}
+
+/// Map per-job cuts to two-stage flow jobs using the profile's `(f, g)`.
+///
+/// The (negligible-by-assumption) cloud stage is carried along so
+/// three-stage evaluations can audit the assumption.
+pub fn jobs_for_cuts(profile: &CostProfile, cuts: &[usize]) -> Vec<FlowJob> {
+    cuts.iter()
+        .enumerate()
+        .map(|(id, &c)| FlowJob::three_stage(id, profile.f(c), profile.g(c), profile.cloud(c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> CostProfile {
+        CostProfile::from_vectors(
+            "p",
+            vec![0.0, 4.0, 7.0, 12.0],
+            vec![20.0, 6.0, 2.0, 0.0],
+            None,
+        )
+    }
+
+    #[test]
+    fn from_cuts_builds_consistent_plan() {
+        let p = profile();
+        let plan = Plan::from_cuts(Strategy::Jps, &p, vec![1, 2]);
+        // Jobs (4,6) and (7,2): the paper's Fig. 2 optimum, makespan 13.
+        assert_eq!(plan.makespan_ms, 13.0);
+        assert_eq!(plan.order, vec![0, 1]);
+        assert_eq!(plan.n(), 2);
+        assert!((plan.average_makespan_ms() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jobs_carry_cloud_stage() {
+        let p = CostProfile::from_vectors(
+            "p",
+            vec![0.0, 4.0],
+            vec![9.0, 0.0],
+            Some(vec![3.0, 0.0]),
+        );
+        let jobs = jobs_for_cuts(&p, &[0, 1]);
+        assert_eq!(jobs[0].cloud_ms, 3.0);
+        assert_eq!(jobs[1].cloud_ms, 0.0);
+    }
+
+    #[test]
+    fn gantt_matches_makespan() {
+        let p = profile();
+        let plan = Plan::from_cuts(Strategy::Jps, &p, vec![1, 1, 2, 3]);
+        assert!((plan.gantt(&p).makespan() - plan.makespan_ms).abs() < 1e-9);
+        assert!(plan.average_completion_ms(&p) <= plan.makespan_ms);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Strategy::Jps.label(), "JPS");
+        assert_eq!(Strategy::PartitionOnly.label(), "PO");
+    }
+}

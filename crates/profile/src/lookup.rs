@@ -1,0 +1,126 @@
+//! The scheduler's pre-built lookup table for local computation times.
+//!
+//! The paper: "To reduce the estimation overhead, we build a lookup
+//! table for computation time considering the local computation time
+//! stable. … The lookup table is pre-built and … loaded into memory
+//! when starting." (§6.1). [`LookupTable`] is that artifact: it maps
+//! `(model, cut)` to the averaged measured `f(l)`, decoupling the
+//! scheduler's decision latency (Fig. 12(d)) from profiling cost.
+
+use std::collections::HashMap;
+
+/// Per-model table of mobile computation times per cut.
+#[derive(Debug, Clone, Default)]
+pub struct LookupTable {
+    entries: HashMap<String, Vec<f64>>,
+}
+
+impl LookupTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        LookupTable::default()
+    }
+
+    /// Insert (or replace) the `f` vector for a model. `f_ms[l]` is the
+    /// mobile time of cut `l`; length must be `k + 1` with `f_ms[0] = 0`.
+    pub fn insert(&mut self, model: impl Into<String>, f_ms: Vec<f64>) {
+        assert!(!f_ms.is_empty() && f_ms[0] == 0.0, "f vector must start at 0");
+        self.entries.insert(model.into(), f_ms);
+    }
+
+    /// Build an entry by averaging repeated measurement runs (each run a
+    /// full `f` vector, e.g. from [`crate::measure::measure_f`]).
+    pub fn insert_averaged(&mut self, model: impl Into<String>, runs: &[Vec<f64>]) {
+        assert!(!runs.is_empty(), "need at least one run");
+        let len = runs[0].len();
+        assert!(runs.iter().all(|r| r.len() == len), "run length mismatch");
+        let mut avg = vec![0.0; len];
+        for run in runs {
+            for (a, v) in avg.iter_mut().zip(run) {
+                *a += v;
+            }
+        }
+        for a in &mut avg {
+            *a /= runs.len() as f64;
+        }
+        avg[0] = 0.0; // measurement noise cannot create work at cut 0
+        self.insert(model, avg);
+    }
+
+    /// Look up the `f` vector of a model.
+    pub fn f_all(&self, model: &str) -> Option<&[f64]> {
+        self.entries.get(model).map(Vec::as_slice)
+    }
+
+    /// Look up `f(l)` for one cut.
+    pub fn f(&self, model: &str, cut: usize) -> Option<f64> {
+        self.entries.get(model).and_then(|v| v.get(cut)).copied()
+    }
+
+    /// Number of models stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize to a simple CSV (`model,cut,f_ms`) for artifacts.
+    pub fn to_csv(&self) -> String {
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        let mut out = String::from("model,cut,f_ms\n");
+        for k in keys {
+            for (cut, v) in self.entries[k].iter().enumerate() {
+                out.push_str(&format!("{k},{cut},{v:.6}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut t = LookupTable::new();
+        t.insert("alexnet", vec![0.0, 10.0, 25.0]);
+        assert_eq!(t.f("alexnet", 2), Some(25.0));
+        assert_eq!(t.f("alexnet", 3), None);
+        assert_eq!(t.f("vgg", 0), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn averaging_runs() {
+        let mut t = LookupTable::new();
+        t.insert_averaged(
+            "m",
+            &[vec![0.0, 10.0, 20.0], vec![0.0, 14.0, 22.0]],
+        );
+        assert_eq!(t.f_all("m").unwrap(), &[0.0, 12.0, 21.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "run length mismatch")]
+    fn mismatched_runs_rejected() {
+        let mut t = LookupTable::new();
+        t.insert_averaged("m", &[vec![0.0, 1.0], vec![0.0, 1.0, 2.0]]);
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let mut t = LookupTable::new();
+        t.insert("b", vec![0.0, 2.0]);
+        t.insert("a", vec![0.0, 1.0]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "model,cut,f_ms");
+        assert!(lines[1].starts_with("a,0,")); // sorted by model
+        assert_eq!(lines.len(), 1 + 4);
+    }
+}

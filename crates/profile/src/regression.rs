@@ -1,0 +1,117 @@
+//! Ordinary least squares in one variable: `y = w0 + w1·x`.
+//!
+//! The paper's scheduler estimates communication delay with "a simple
+//! linear regression model … t = w0 + w1·r" trained on measured
+//! request round-trips (§6.1). This module is that estimator.
+
+/// A fitted simple linear regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRegression {
+    /// Intercept `w0` (the paper's channel-setup latency).
+    pub w0: f64,
+    /// Slope `w1`.
+    pub w1: f64,
+}
+
+impl LinearRegression {
+    /// Fit by ordinary least squares. Returns `None` for fewer than two
+    /// points or a degenerate (constant-x) design.
+    pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON * n * sxx.max(1.0) {
+            return None;
+        }
+        let w1 = (n * sxy - sx * sy) / denom;
+        let w0 = (sy - w1 * sx) / n;
+        Some(LinearRegression { w0, w1 })
+    }
+
+    /// Predict `y` at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.w0 + self.w1 * x
+    }
+
+    /// Coefficient of determination on a dataset.
+    pub fn r_squared(&self, points: &[(f64, f64)]) -> f64 {
+        if points.is_empty() {
+            return f64::NAN;
+        }
+        let mean_y: f64 = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - self.predict(p.0)).powi(2))
+            .sum();
+        if ss_tot == 0.0 {
+            if ss_res == 0.0 {
+                1.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 + 2.5 * i as f64)).collect();
+        let r = LinearRegression::fit(&pts).unwrap();
+        assert!((r.w0 - 3.0).abs() < 1e-9);
+        assert!((r.w1 - 2.5).abs() < 1e-9);
+        assert!((r.r_squared(&pts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_designs_rejected() {
+        assert!(LinearRegression::fit(&[]).is_none());
+        assert!(LinearRegression::fit(&[(1.0, 2.0)]).is_none());
+        assert!(LinearRegression::fit(&[(1.0, 2.0), (1.0, 3.0), (1.0, 4.0)]).is_none());
+    }
+
+    #[test]
+    fn least_squares_beats_any_other_line_on_sse() {
+        let pts = [
+            (0.0, 1.1),
+            (1.0, 2.9),
+            (2.0, 5.2),
+            (3.0, 6.8),
+            (4.0, 9.1),
+        ];
+        let fitted = LinearRegression::fit(&pts).unwrap();
+        let sse = |r: &LinearRegression| -> f64 {
+            pts.iter().map(|p| (p.1 - r.predict(p.0)).powi(2)).sum()
+        };
+        let best = sse(&fitted);
+        for dw0 in [-0.2, -0.05, 0.05, 0.2] {
+            for dw1 in [-0.2, -0.05, 0.05, 0.2] {
+                let other = LinearRegression {
+                    w0: fitted.w0 + dw0,
+                    w1: fitted.w1 + dw1,
+                };
+                assert!(sse(&other) >= best - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn r_squared_of_constant_data() {
+        let pts = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let r = LinearRegression { w0: 5.0, w1: 0.0 };
+        assert_eq!(r.r_squared(&pts), 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # mcdnn-sim
+//!
+//! Execution substrates for the mobile → uplink → cloud pipeline.
+//!
+//! The paper runs its schedules on a physical testbed (Raspberry Pi +
+//! gRPC + GPU server). This crate replaces the testbed with two
+//! independent implementations that *execute* a schedule rather than
+//! just evaluate a formula:
+//!
+//! * [`des`] — a discrete-event simulator of the three pipeline
+//!   resources with configurable parallelism (number of uplink channels,
+//!   cloud execution slots) and optional stage-duration jitter. With one
+//!   channel and one slot it reproduces the flow-shop recurrence
+//!   exactly — which is tested, not assumed.
+//! * [`executor`] — a real concurrent executor: one OS thread per
+//!   pipeline stage connected by crossbeam channels, burning precise
+//!   busy-wait time per stage in scaled-down virtual milliseconds. This
+//!   exercises the actual systems behaviour (queueing, backpressure,
+//!   stage exclusivity) the analytic model abstracts.
+//! * [`validate`] — cross-checks between the closed form
+//!   (Proposition 4.1), the recurrence, the DES and the executor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod executor;
+pub mod online;
+pub mod robustness;
+pub mod stream;
+pub mod trace;
+pub mod validate;
+
+pub use des::{DesConfig, DesResult, simulate};
+pub use executor::{run_pipeline, ClockMode, ExecTrace, ExecutorConfig};
+pub use online::{run_online, BandwidthTrace, OnlineResult, ReplanPolicy};
+pub use robustness::{realized_makespans, MakespanStats};
+pub use stream::{best_cut_for_rate, saturation_rate_hz, simulate_stream, StreamConfig, StreamStats};
+pub use trace::to_chrome_trace;
+pub use validate::{agreement_report, AgreementReport};

@@ -1,0 +1,198 @@
+//! Grouped bar charts (Fig. 12 style: strategy bars per model).
+
+use std::fmt::Write as _;
+
+use crate::scale::{fmt_tick, nice_ticks, Scale};
+use crate::{escape, PALETTE};
+
+/// A grouped bar chart: `groups` along the x axis, one bar per
+/// `series` within each group.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// Group (x category) labels.
+    pub groups: Vec<String>,
+    /// `(series label, one value per group)`; `None` = missing bar
+    /// (the paper omits CO at 3G as off-chart).
+    pub series: Vec<(String, Vec<Option<f64>>)>,
+    /// Pixel width.
+    pub width: u32,
+    /// Pixel height.
+    pub height: u32,
+}
+
+impl BarChart {
+    /// New empty chart with default dimensions.
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            groups: Vec::new(),
+            series: Vec::new(),
+            width: 640,
+            height: 400,
+        }
+    }
+
+    /// Set group labels (builder style).
+    pub fn with_groups(mut self, groups: Vec<String>) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Add a series; must supply one value (or `None`) per group.
+    pub fn with_series(mut self, label: impl Into<String>, values: Vec<Option<f64>>) -> Self {
+        assert_eq!(
+            values.len(),
+            self.groups.len(),
+            "one value per group required"
+        );
+        self.series.push((label.into(), values));
+        self
+    }
+
+    /// Render as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let (ml, mr, mt, mb) = (64.0, 120.0, 34.0, 52.0);
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\">"
+        );
+        let _ = write!(
+            out,
+            "<text x=\"{x}\" y=\"20\" font-size=\"14\" text-anchor=\"middle\" \
+             font-weight=\"bold\">{t}</text>",
+            x = (ml + w - mr) / 2.0,
+            t = escape(&self.title)
+        );
+        let max = self
+            .series
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().flatten())
+            .fold(0.0f64, |a, &b| a.max(b));
+        if max <= 0.0 || self.groups.is_empty() {
+            out.push_str("<text x=\"20\" y=\"40\" font-size=\"12\">(no data)</text></svg>");
+            return out;
+        }
+        let top = nice_ticks(0.0, max * 1.05, 5).last().copied().unwrap_or(max);
+        let ys = Scale::linear(0.0, top.max(max), h - mb, mt);
+
+        for ty in ys.ticks(5) {
+            let y = ys.px(ty);
+            let _ = write!(
+                out,
+                "<line x1=\"{ml}\" y1=\"{y:.1}\" x2=\"{x2}\" y2=\"{y:.1}\" stroke=\"#e5e5e5\"/>\
+                 <text x=\"{tx}\" y=\"{ty2:.1}\" font-size=\"10\" text-anchor=\"end\">{lbl}</text>",
+                x2 = w - mr,
+                tx = ml - 6.0,
+                ty2 = y + 3.0,
+                lbl = fmt_tick(ty)
+            );
+        }
+        let _ = write!(
+            out,
+            "<line x1=\"{ml}\" y1=\"{yb}\" x2=\"{xr}\" y2=\"{yb}\" stroke=\"#333\"/>\
+             <line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{yb}\" stroke=\"#333\"/>\
+             <text x=\"16\" y=\"{ycl}\" font-size=\"11\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 16 {ycl})\">{ylbl}</text>",
+            yb = h - mb,
+            xr = w - mr,
+            ycl = (mt + h - mb) / 2.0,
+            ylbl = escape(&self.y_label)
+        );
+
+        let plot_w = w - ml - mr;
+        let group_w = plot_w / self.groups.len() as f64;
+        let bar_w = (group_w * 0.8) / self.series.len().max(1) as f64;
+        for (gi, group) in self.groups.iter().enumerate() {
+            let gx = ml + gi as f64 * group_w;
+            let _ = write!(
+                out,
+                "<text x=\"{x:.1}\" y=\"{y}\" font-size=\"11\" text-anchor=\"middle\">{lbl}</text>",
+                x = gx + group_w / 2.0,
+                y = h - mb + 16.0,
+                lbl = escape(group)
+            );
+            for (si, (_, values)) in self.series.iter().enumerate() {
+                if let Some(v) = values[gi] {
+                    let x = gx + group_w * 0.1 + si as f64 * bar_w;
+                    let y = ys.px(v);
+                    let _ = write!(
+                        out,
+                        "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bw:.1}\" height=\"{bh:.1}\" \
+                         fill=\"{color}\"><title>{lbl}: {v:.1}</title></rect>",
+                        bw = bar_w * 0.92,
+                        bh = (h - mb) - y,
+                        color = PALETTE[si % PALETTE.len()],
+                        lbl = escape(&self.series[si].0),
+                    );
+                }
+            }
+        }
+        for (si, (label, _)) in self.series.iter().enumerate() {
+            let ly = mt + 16.0 * si as f64;
+            let _ = write!(
+                out,
+                "<rect x=\"{lx}\" y=\"{ry:.1}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\
+                 <text x=\"{tx}\" y=\"{ty:.1}\" font-size=\"11\">{lbl}</text>",
+                lx = w - mr + 10.0,
+                ry = ly - 9.0,
+                color = PALETTE[si % PALETTE.len()],
+                tx = w - mr + 28.0,
+                ty = ly + 1.5,
+                lbl = escape(label)
+            );
+        }
+        out.push_str("</svg>");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        BarChart::new("Fig 12-style", "per-job ms")
+            .with_groups(vec!["alexnet".into(), "resnet18".into()])
+            .with_series("LO", vec![Some(700.0), Some(1800.0)])
+            .with_series("JPS", vec![Some(90.0), Some(250.0)])
+            .with_series("CO", vec![None, Some(265.0)]) // off-chart cell
+    }
+
+    #[test]
+    fn renders_bars_and_legend() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        // 5 bars drawn (one None skipped) + 3 legend swatches.
+        assert_eq!(svg.matches("<title>").count(), 5);
+        assert!(svg.contains(">LO</text>"));
+        assert!(svg.contains(">alexnet</text>"));
+    }
+
+    #[test]
+    fn missing_values_are_skipped_not_zero() {
+        let svg = chart().to_svg();
+        assert!(!svg.contains("CO: 0.0"));
+    }
+
+    #[test]
+    fn empty_chart_degrades() {
+        let svg = BarChart::new("e", "y").to_svg();
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per group")]
+    fn mismatched_series_length_rejected() {
+        BarChart::new("b", "y")
+            .with_groups(vec!["a".into()])
+            .with_series("s", vec![Some(1.0), Some(2.0)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Line charts (Fig. 13 / Fig. 14 style).
+
+use std::fmt::Write as _;
+
+use crate::scale::{fmt_tick, Scale};
+use crate::{escape, PALETTE};
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data space, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A multi-series line chart with axes, ticks and a legend.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// Use a log₁₀ y axis (the paper's Fig. 13 does).
+    pub log_y: bool,
+    /// Series to draw.
+    pub series: Vec<Series>,
+    /// Pixel width of the full document.
+    pub width: u32,
+    /// Pixel height of the full document.
+    pub height: u32,
+}
+
+impl LineChart {
+    /// A chart with default dimensions (640×400).
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_y: false,
+            series: Vec::new(),
+            width: 640,
+            height: 400,
+        }
+    }
+
+    /// Add a series (builder style).
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Switch the y axis to log₁₀.
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Data bounds across all series.
+    fn bounds(&self) -> Option<((f64, f64), (f64, f64))> {
+        let mut pts = self.series.iter().flat_map(|s| s.points.iter());
+        let first = pts.next()?;
+        let mut xb = (first.0, first.0);
+        let mut yb = (first.1, first.1);
+        for &(x, y) in pts {
+            xb = (xb.0.min(x), xb.1.max(x));
+            yb = (yb.0.min(y), yb.1.max(y));
+        }
+        Some((xb, yb))
+    }
+
+    /// Render the chart as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let (ml, mr, mt, mb) = (64.0, 150.0, 34.0, 48.0);
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\">"
+        );
+        let _ = write!(
+            out,
+            "<text x=\"{x}\" y=\"20\" font-size=\"14\" text-anchor=\"middle\" \
+             font-weight=\"bold\">{t}</text>",
+            x = (ml + w - mr) / 2.0,
+            t = escape(&self.title)
+        );
+        let Some(((x0, x1), (y0, y1))) = self.bounds() else {
+            out.push_str("<text x=\"20\" y=\"40\" font-size=\"12\">(no data)</text></svg>");
+            return out;
+        };
+        let pad = |a: f64, b: f64| if a == b { (a - 1.0, b + 1.0) } else { (a, b) };
+        let (x0, x1) = pad(x0, x1);
+        let (mut y0, y1) = pad(y0, y1);
+        if self.log_y {
+            y0 = y0.max(y1 * 1e-4).max(1e-12);
+        }
+        let xs = Scale::linear(x0, x1, ml, w - mr);
+        let ys = if self.log_y {
+            Scale::log10(y0, y1, h - mb, mt)
+        } else {
+            Scale::linear(y0.min(0.0), y1, h - mb, mt)
+        };
+
+        // Grid + ticks.
+        for ty in ys.ticks(5) {
+            let y = ys.px(ty);
+            let _ = write!(
+                out,
+                "<line x1=\"{ml}\" y1=\"{y:.1}\" x2=\"{x2}\" y2=\"{y:.1}\" \
+                 stroke=\"#e5e5e5\"/>\
+                 <text x=\"{tx}\" y=\"{ty2:.1}\" font-size=\"10\" text-anchor=\"end\">{lbl}</text>",
+                x2 = w - mr,
+                tx = ml - 6.0,
+                ty2 = y + 3.0,
+                lbl = fmt_tick(ty)
+            );
+        }
+        for tx in xs.ticks(6) {
+            let x = xs.px(tx);
+            let _ = write!(
+                out,
+                "<line x1=\"{x:.1}\" y1=\"{y1p}\" x2=\"{x:.1}\" y2=\"{y2p}\" stroke=\"#e5e5e5\"/>\
+                 <text x=\"{x:.1}\" y=\"{ty}\" font-size=\"10\" text-anchor=\"middle\">{lbl}</text>",
+                y1p = mt,
+                y2p = h - mb,
+                ty = h - mb + 14.0,
+                lbl = fmt_tick(tx)
+            );
+        }
+        // Axes.
+        let _ = write!(
+            out,
+            "<line x1=\"{ml}\" y1=\"{yb}\" x2=\"{xr}\" y2=\"{yb}\" stroke=\"#333\"/>\
+             <line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{yb}\" stroke=\"#333\"/>",
+            yb = h - mb,
+            xr = w - mr,
+        );
+        let _ = write!(
+            out,
+            "<text x=\"{x}\" y=\"{y}\" font-size=\"11\" text-anchor=\"middle\">{lbl}</text>",
+            x = (ml + w - mr) / 2.0,
+            y = h - 10.0,
+            lbl = escape(&self.x_label)
+        );
+        let _ = write!(
+            out,
+            "<text x=\"16\" y=\"{y}\" font-size=\"11\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 16 {y})\">{lbl}</text>",
+            y = (mt + h - mb) / 2.0,
+            lbl = escape(&self.y_label)
+        );
+
+        // Series + legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let mut d = String::new();
+            for (j, &(x, y)) in s.points.iter().enumerate() {
+                let cmd = if j == 0 { 'M' } else { 'L' };
+                let _ = write!(d, "{cmd}{:.1},{:.1} ", xs.px(x), ys.px(y));
+            }
+            let _ = write!(
+                out,
+                "<path d=\"{d}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\"/>"
+            );
+            for &(x, y) in &s.points {
+                let _ = write!(
+                    out,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.2\" fill=\"{color}\"/>",
+                    xs.px(x),
+                    ys.px(y)
+                );
+            }
+            let ly = mt + 16.0 * i as f64;
+            let _ = write!(
+                out,
+                "<line x1=\"{lx}\" y1=\"{ly}\" x2=\"{lx2}\" y2=\"{ly}\" stroke=\"{color}\" \
+                 stroke-width=\"2\"/>\
+                 <text x=\"{tx}\" y=\"{ty:.1}\" font-size=\"11\">{lbl}</text>",
+                lx = w - mr + 10.0,
+                lx2 = w - mr + 30.0,
+                tx = w - mr + 36.0,
+                ty = ly + 3.5,
+                lbl = escape(&s.label)
+            );
+        }
+        out.push_str("</svg>");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart::new("demo", "bandwidth (Mbps)", "latency (ms)")
+            .with_series(Series::new("LO", vec![(1.0, 700.0), (10.0, 700.0)]))
+            .with_series(Series::new("JPS", vec![(1.0, 650.0), (10.0, 150.0)]))
+    }
+
+    #[test]
+    fn renders_document_with_series_and_legend() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains(">LO</text>"));
+        assert!(svg.contains(">JPS</text>"));
+        assert!(svg.contains("latency (ms)"));
+    }
+
+    #[test]
+    fn log_y_renders_power_ticks() {
+        let svg = LineChart::new("log", "x", "y")
+            .with_log_y()
+            .with_series(Series::new("s", vec![(0.0, 10.0), (1.0, 10_000.0)]))
+            .to_svg();
+        assert!(svg.contains(">10k</text>"));
+        assert!(svg.contains(">100</text>") || svg.contains(">1k</text>"));
+    }
+
+    #[test]
+    fn empty_chart_degrades_gracefully() {
+        let svg = LineChart::new("e", "x", "y").to_svg();
+        assert!(svg.contains("(no data)"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = LineChart::new("a<b>", "x&y", "z")
+            .with_series(Series::new("s\"q\"", vec![(0.0, 1.0), (1.0, 2.0)]))
+            .to_svg();
+        assert!(svg.contains("a&lt;b&gt;"));
+        assert!(svg.contains("x&amp;y"));
+        assert!(svg.contains("s&quot;q&quot;"));
+        assert!(!svg.contains("a<b>"));
+    }
+
+    #[test]
+    fn single_point_series_does_not_panic() {
+        let svg = LineChart::new("p", "x", "y")
+            .with_series(Series::new("dot", vec![(5.0, 5.0)]))
+            .to_svg();
+        assert!(svg.contains("<circle"));
+    }
+}

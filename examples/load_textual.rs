@@ -1,0 +1,73 @@
+//! Load a model from the textual `.dnn` format and plan it — the
+//! no-Rust-required path a downstream user would take for an
+//! unpublished architecture (also available as `mcdnn load --file …`).
+//!
+//! ```text
+//! cargo run --release --example load_textual
+//! ```
+
+use mcdnn::prelude::*;
+use mcdnn_graph::{cluster_virtual_blocks, collapse_to_line, parse_model};
+
+const MODEL_TEXT: &str = r"
+# A compact two-tower detector head, written by hand.
+input:  input(3, 128, 128)
+stem:   conv(24, k=3, s=2, p=1)
+srelu:  relu
+pool0:  maxpool(k=2, s=2)
+
+# tower A: spatial detail
+a1:     conv(32, k=3, p=1)      <- pool0
+a1r:    relu
+a2:     conv(32, k=3, p=1)
+a2r:    relu
+
+# tower B: wide context
+b1:     conv(32, k=5, p=2)      <- pool0
+b1r:    relu
+
+merge:  concat                  <- a2r, b1r
+pool1:  maxpool(k=2, s=2)
+head:   conv(64, k=3, p=1)
+hrelu:  relu
+gap:    gavgpool
+flat:   flatten
+out:    dense(20)
+";
+
+fn main() {
+    let graph = parse_model("two_tower", MODEL_TEXT).expect("model text is valid");
+    println!(
+        "parsed '{}': {} layers, {:.1} MFLOPs, {} structure",
+        graph.name(),
+        graph.len(),
+        graph.total_flops() as f64 / 1e6,
+        if graph.is_line_structure() { "line" } else { "general" }
+    );
+
+    let collapsed = collapse_to_line(&graph).expect("towers rejoin at the concat");
+    let (clustered, _) = cluster_virtual_blocks(&collapsed);
+    println!(
+        "line view: {} cut candidates after clustering",
+        clustered.k() + 1
+    );
+
+    let scenario = Scenario::new(
+        clustered,
+        DeviceModel::raspberry_pi4(),
+        NetworkModel::new(6.0, 20.0),
+        CloudModel::Device(DeviceModel::cloud_gtx1080()),
+    );
+    println!("\nplanning 12 jobs at 6 Mbps:");
+    for strat in [Strategy::LocalOnly, Strategy::CloudOnly, Strategy::JpsBestMix] {
+        let plan = scenario.plan(strat, 12);
+        println!(
+            "  {:>4}: {:7.1} ms  ({:5.1} ms/job)",
+            strat.label(),
+            plan.makespan_ms,
+            plan.average_makespan_ms()
+        );
+    }
+    let best = scenario.plan(Strategy::JpsBestMix, 12);
+    println!("\nJPS* schedule:\n{}", best.gantt(scenario.profile()).to_ascii(64));
+}

@@ -1,0 +1,8 @@
+//! Workspace facade for the `mcdnn` reproduction.
+//!
+//! Re-exports the public API of the [`mcdnn`] core crate so the root
+//! examples and integration tests have a single import surface. See
+//! `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use mcdnn::*;

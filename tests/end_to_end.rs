@@ -1,0 +1,164 @@
+//! End-to-end integration: model zoo → cost profile → planner →
+//! simulator/executor, across every evaluated model and network.
+
+use mcdnn::prelude::*;
+use mcdnn_sim::{run_pipeline, simulate, DesConfig};
+
+fn networks() -> [NetworkModel; 3] {
+    [
+        NetworkModel::three_g(),
+        NetworkModel::four_g(),
+        NetworkModel::wifi(),
+    ]
+}
+
+#[test]
+fn jps_dominates_all_baselines_everywhere() {
+    for model in Model::ALL {
+        for net in networks() {
+            let s = Scenario::paper_default(model, net);
+            for n in [1usize, 7, 50] {
+                let jps = s.plan(Strategy::Jps, n).makespan_ms;
+                for base in [
+                    Strategy::LocalOnly,
+                    Strategy::CloudOnly,
+                    Strategy::PartitionOnly,
+                ] {
+                    let b = s.plan(base, n).makespan_ms;
+                    assert!(
+                        jps <= b + 1e-6,
+                        "{model} n={n} @{}Mbps: JPS {jps} > {base:?} {b}",
+                        net.bandwidth_mbps
+                    );
+                }
+                let star = s.plan(Strategy::JpsBestMix, n).makespan_ms;
+                assert!(star <= jps + 1e-6, "JPS* must refine JPS");
+            }
+        }
+    }
+}
+
+#[test]
+fn analytic_and_simulated_makespans_agree() {
+    for model in Model::EVALUATED {
+        let s = Scenario::paper_default(model, NetworkModel::four_g());
+        let plan = s.plan(Strategy::Jps, 25);
+        let jobs = plan.jobs(s.profile());
+
+        // 2-stage jobs (cloud zeroed): DES and executor match exactly.
+        let two_stage: Vec<FlowJob> = jobs
+            .iter()
+            .map(|j| FlowJob::two_stage(j.id, j.compute_ms, j.comm_ms))
+            .collect();
+        let des = simulate(&two_stage, &plan.order, &DesConfig::default());
+        assert!(
+            (des.makespan_ms - plan.makespan_ms).abs() < 1e-9,
+            "{model}: DES {} vs plan {}",
+            des.makespan_ms,
+            plan.makespan_ms
+        );
+        let exec = run_pipeline(&two_stage, &plan.order, &ExecutorConfig::default());
+        assert!((exec.makespan_ms - plan.makespan_ms).abs() < 1e-9);
+
+        // With the cloud stage billed explicitly the makespan grows by
+        // under 1% — the paper's negligible-cloud reduction, audited.
+        let three = simulate(&jobs, &plan.order, &DesConfig::default());
+        assert!(three.makespan_ms >= plan.makespan_ms - 1e-9);
+        assert!(
+            three.makespan_ms <= plan.makespan_ms * 1.01,
+            "{model}: cloud stage added {:.2}%",
+            (three.makespan_ms / plan.makespan_ms - 1.0) * 100.0
+        );
+    }
+}
+
+#[test]
+fn per_job_latency_shrinks_with_bandwidth_for_jps() {
+    for model in Model::EVALUATED {
+        let mut prev = f64::INFINITY;
+        for net in networks() {
+            let s = Scenario::paper_default(model, net);
+            let per_job = s.plan(Strategy::Jps, 50).average_makespan_ms();
+            assert!(
+                per_job <= prev + 1e-9,
+                "{model}: JPS per-job grew from {prev} to {per_job}"
+            );
+            prev = per_job;
+        }
+    }
+}
+
+#[test]
+fn resnet_barely_benefits_at_3g() {
+    // Paper §6.3: "The improvement of JPS for ResNet is not obvious
+    // [at 3G] ... offloading the intermediate result of any layer of
+    // ResNet would cost more time than compute the model locally."
+    let s = Scenario::paper_default(Model::ResNet18, NetworkModel::three_g());
+    let lo = s.plan(Strategy::LocalOnly, 100).makespan_ms;
+    let po = s.plan(Strategy::PartitionOnly, 100).makespan_ms;
+    // The single-job optimal cut at 3G is local-only (or equivalent).
+    assert!((po - lo).abs() / lo < 0.01, "PO {po} vs LO {lo}");
+    // JPS improves only via the pipeline mix, far less than at 4G.
+    let jps_3g = s.plan(Strategy::Jps, 100).makespan_ms;
+    let gain_3g = 1.0 - jps_3g / lo;
+    let s4 = Scenario::paper_default(Model::ResNet18, NetworkModel::four_g());
+    let gain_4g = 1.0 - s4.plan(Strategy::Jps, 100).makespan_ms
+        / s4.plan(Strategy::LocalOnly, 100).makespan_ms;
+    assert!(
+        gain_4g > gain_3g,
+        "4G gain {gain_4g} should exceed 3G gain {gain_3g}"
+    );
+}
+
+#[test]
+fn wifi_makes_cloud_only_competitive() {
+    // Paper §6.3: at Wi-Fi "simply offloading all computation workload
+    // to the cloud server is a good strategy".
+    let s = Scenario::paper_default(Model::GoogLeNet, NetworkModel::wifi());
+    let co = s.plan(Strategy::CloudOnly, 100).makespan_ms;
+    let lo = s.plan(Strategy::LocalOnly, 100).makespan_ms;
+    assert!(co < lo, "CO {co} should beat LO {lo} at Wi-Fi for GoogLeNet");
+}
+
+#[test]
+fn decision_overhead_far_below_inference() {
+    // Fig. 12(d): overhead negligible for all four models.
+    for model in Model::EVALUATED {
+        let s = Scenario::paper_default(model, NetworkModel::wifi());
+        let timed = s.plan_timed(Strategy::Jps, 100);
+        let overhead_ms = timed.decision_time.as_secs_f64() * 1e3;
+        assert!(
+            overhead_ms < 0.05 * timed.plan.makespan_ms,
+            "{model}: {overhead_ms} ms overhead vs {} ms makespan",
+            timed.plan.makespan_ms
+        );
+    }
+}
+
+#[test]
+fn lookup_table_reproduces_profile_f() {
+    // The paper's scheduler reads f from a pre-built lookup table; a
+    // table built from noiseless measurement matches the profile.
+    use mcdnn_profile::{measure::measure_f, DeviceModel, LookupTable};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let line = Model::AlexNet.line().unwrap();
+    let device = DeviceModel::raspberry_pi4();
+    let runs: Vec<Vec<f64>> = (0..50)
+        .map(|_| measure_f(&mut rng, &line, &device, 0.1))
+        .collect();
+    let mut table = LookupTable::new();
+    table.insert_averaged("alexnet", &runs);
+
+    let s = Scenario::paper_default(Model::AlexNet, NetworkModel::wifi());
+    for cut in 0..=s.profile().k() {
+        let truth = s.profile().f(cut);
+        let est = table.f("alexnet", cut).unwrap();
+        assert!(
+            (est - truth).abs() <= truth * 0.05 + 1e-9,
+            "cut {cut}: {est} vs {truth}"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration test: the paper's Fig. 2 worked example, end to end.
+//!
+//! Two identical 3-layer DNNs; cut options after l1 = (f 4, g 6) and
+//! after l2 = (f 7, g 2). The paper's claims:
+//!
+//! * any common cut gives makespan 16;
+//! * mixing the two cuts gives 13, the optimum;
+//! * changing f(l2) from 7 to 5 makes a common cut optimal again.
+
+use mcdnn::prelude::*;
+use mcdnn_partition::{brute_force_plan, jps_best_mix_plan, Plan};
+use mcdnn_sim::{run_pipeline, simulate, DesConfig};
+
+fn fig2_profile() -> CostProfile {
+    // Cuts 1 and 2 are the paper's options; cut 0 (upload everything)
+    // and cut 3 (fully local) are made unattractive so the example's
+    // two-option structure is preserved.
+    CostProfile::from_vectors(
+        "fig2",
+        vec![0.0, 4.0, 7.0, 100.0],
+        vec![999.0, 6.0, 2.0, 0.0],
+        None,
+    )
+}
+
+#[test]
+fn common_cuts_give_16() {
+    let p = fig2_profile();
+    for cut in [1usize, 2] {
+        let plan = Plan::from_cuts(Strategy::Jps, &p, vec![cut, cut]);
+        assert_eq!(plan.makespan_ms, 16.0, "common cut {cut}");
+    }
+}
+
+#[test]
+fn mixed_cuts_give_13_and_are_optimal() {
+    let p = fig2_profile();
+    let mixed = Plan::from_cuts(Strategy::Jps, &p, vec![1, 2]);
+    assert_eq!(mixed.makespan_ms, 13.0);
+
+    let bf = brute_force_plan(&p, 2);
+    assert_eq!(bf.makespan_ms, 13.0);
+    let mut cuts = bf.cuts.clone();
+    cuts.sort_unstable();
+    assert_eq!(cuts, vec![1, 2]);
+
+    // JPS* discovers the same optimum.
+    let jps = jps_best_mix_plan(&p, 2);
+    assert_eq!(jps.makespan_ms, 13.0);
+}
+
+#[test]
+fn the_optimal_schedule_is_comm_heavy_first() {
+    let p = fig2_profile();
+    let plan = Plan::from_cuts(Strategy::Jps, &p, vec![2, 1]);
+    // Job 1 has cut 1 = (4, 6): communication-heavy, must run first.
+    assert_eq!(plan.order, vec![1, 0]);
+    assert_eq!(plan.makespan_ms, 13.0);
+}
+
+#[test]
+fn changing_7_to_5_flips_the_optimum() {
+    let p = CostProfile::from_vectors(
+        "fig2'",
+        vec![0.0, 4.0, 5.0, 100.0],
+        vec![999.0, 6.0, 2.0, 0.0],
+        None,
+    );
+    let common_l2 = Plan::from_cuts(Strategy::Jps, &p, vec![2, 2]);
+    let bf = brute_force_plan(&p, 2);
+    assert_eq!(
+        common_l2.makespan_ms, bf.makespan_ms,
+        "a common cut is optimal after the flip"
+    );
+}
+
+#[test]
+fn every_execution_path_reproduces_13() {
+    let p = fig2_profile();
+    let plan = Plan::from_cuts(Strategy::Jps, &p, vec![1, 2]);
+    let jobs = plan.jobs(&p);
+
+    let des = simulate(&jobs, &plan.order, &DesConfig::default());
+    assert_eq!(des.makespan_ms, 13.0);
+
+    let exec = run_pipeline(&jobs, &plan.order, &ExecutorConfig::default());
+    assert_eq!(exec.makespan_ms, 13.0);
+
+    let gantt = plan.gantt(&p);
+    assert_eq!(gantt.makespan(), 13.0);
+    // The uplink idles exactly 1 ms between the two transfers
+    // (busy 4..10, then 11..13 once job 1's computation finishes).
+    assert_eq!(gantt.idle_time(1), 1.0);
+}

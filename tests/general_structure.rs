@@ -1,0 +1,181 @@
+//! Integration tests for general-structure DNNs (paper §5.3, Alg. 3):
+//! GoogLeNet and the Inception-C module network.
+
+use mcdnn::prelude::*;
+use mcdnn_graph::{articulation_chain, decompose_into_paths, segments};
+use mcdnn_models::inception;
+use mcdnn_partition::{general_jps_plan, multipath_cuts};
+use mcdnn_profile::DeviceModel;
+
+fn mobile() -> DeviceModel {
+    DeviceModel::raspberry_pi4()
+}
+
+#[test]
+fn googlenet_segments_mirror_inception_modules() {
+    let g = Model::GoogLeNet.graph();
+    let segs = segments(&g).expect("GoogLeNet has an articulation chain");
+    let branching = segs.iter().filter(|s| !s.is_line()).count();
+    assert_eq!(branching, 9, "nine inception modules");
+    // The chain contains the stem and every concat junction.
+    let chain = articulation_chain(&g);
+    assert!(chain.len() >= 12);
+}
+
+#[test]
+fn inception_c_multipath_beats_or_ties_line_view() {
+    let g = inception::inception_c_network();
+    for mbps in [2.0, 8.0, 20.0] {
+        let net = NetworkModel::new(mbps, 10.0);
+        let plan = general_jps_plan(&g, 10, &mobile(), &net, 256)
+            .expect("Alg. 3 runs on the module network");
+        assert_eq!(plan.path_count, 6, "Fig. 3(a) has six branches");
+        // The best candidate never loses to the pure line view.
+        assert!(
+            plan.best_makespan_ms() <= plan.line_plan.makespan_ms + 1e-9,
+            "{mbps} Mbps: best {} vs line {}",
+            plan.best_makespan_ms(),
+            plan.line_plan.makespan_ms
+        );
+        // Path-instance pipelining never hurts the multipath candidate.
+        assert!(plan.path_pipelined_makespan_ms <= plan.makespan_ms + 1e-9);
+    }
+}
+
+#[test]
+fn multipath_cut_set_is_consistent() {
+    let g = inception::inception_c_network();
+    let net = NetworkModel::new(8.0, 10.0);
+    let cuts = multipath_cuts(&g, &mobile(), &net, 256).expect("cuts");
+    assert!(!cuts.is_empty());
+    // Every cut node exists and the implied mobile side is a prefix
+    // closure (no cloud-side node precedes a mobile-side node).
+    let on_mobile = g.mobile_side(&cuts);
+    for (u, v) in g.edges() {
+        if on_mobile[v.index()] {
+            assert!(
+                on_mobile[u.index()],
+                "predecessor {u:?} of mobile node {v:?} must be mobile"
+            );
+        }
+    }
+}
+
+#[test]
+fn googlenet_paths_explode_but_segments_stay_small() {
+    // The faithful whole-graph conversion is exponential on GoogLeNet —
+    // the reason our Alg. 3 works per segment (see DESIGN.md).
+    let g = Model::GoogLeNet.graph();
+    assert!(
+        decompose_into_paths(&g, 4096).is_err(),
+        "whole-graph path enumeration must blow past the cap"
+    );
+    let segs = segments(&g).unwrap();
+    let max_paths = segs.iter().map(|s| s.paths.len()).max().unwrap();
+    assert!(max_paths <= 4, "per-segment paths stay tiny, got {max_paths}");
+}
+
+#[test]
+fn googlenet_alg3_runs_via_segment_refinement() {
+    // Whole-graph path enumeration is infeasible for GoogLeNet; the
+    // planner must fall back to per-segment refinement and still return
+    // a valid plan.
+    let g = Model::GoogLeNet.graph();
+    for net in [NetworkModel::four_g(), NetworkModel::wifi()] {
+        let plan = general_jps_plan(&g, 20, &mobile(), &net, 4096)
+            .expect("segment-refined Alg. 3 succeeds on GoogLeNet");
+        assert_eq!(plan.path_count, 9, "nine inception segments considered");
+        assert!(!plan.cut_nodes.is_empty());
+        // Cut set is closure-consistent.
+        let on_mobile = g.mobile_side(&plan.cut_nodes);
+        for (u, v) in g.edges() {
+            if on_mobile[v.index()] {
+                assert!(on_mobile[u.index()]);
+            }
+        }
+        // The planner reports its best candidate faithfully.
+        assert!(plan.best_makespan_ms() <= plan.makespan_ms + 1e-9);
+        assert!(plan.best_makespan_ms() <= plan.line_plan.makespan_ms + 1e-9);
+    }
+}
+
+#[test]
+fn squeezenet_alg3_full_multipath() {
+    // SqueezeNet's 2^8 = 256 paths fit under the cap: the faithful
+    // whole-graph Alg. 3 runs directly.
+    let g = Model::SqueezeNet.graph();
+    let plan = general_jps_plan(&g, 10, &mobile(), &NetworkModel::wifi(), 4096)
+        .expect("Alg. 3 runs on SqueezeNet");
+    assert_eq!(plan.path_count, 256);
+    assert!(plan.path_pipelined_makespan_ms <= plan.makespan_ms + 1e-9);
+}
+
+#[test]
+fn inception_v4_alg3_runs() {
+    // 16 branching modules: whole-graph path enumeration explodes, so
+    // Alg. 3 must run via per-segment refinement.
+    let g = Model::InceptionV4.graph();
+    let plan = general_jps_plan(&g, 10, &mobile(), &NetworkModel::wifi(), 4096)
+        .expect("segment-refined Alg. 3 succeeds on Inception-v4");
+    assert_eq!(plan.path_count, 16);
+    let on_mobile = g.mobile_side(&plan.cut_nodes);
+    for (u, v) in g.edges() {
+        if on_mobile[v.index()] {
+            assert!(on_mobile[u.index()]);
+        }
+    }
+}
+
+#[test]
+fn densenet_line_view_plans_end_to_end() {
+    // Dense connectivity: cuts concentrate at transitions, and the
+    // planner still dominates LO/CO.
+    let s = Scenario::paper_default(Model::DenseNet121, NetworkModel::wifi());
+    let jps = s.plan(Strategy::Jps, 20);
+    let lo = s.plan(Strategy::LocalOnly, 20);
+    let co = s.plan(Strategy::CloudOnly, 20);
+    assert!(jps.makespan_ms <= lo.makespan_ms.min(co.makespan_ms) + 1e-6);
+}
+
+#[test]
+fn googlenet_line_view_plans_end_to_end() {
+    // Even with only a handful of line cut candidates, the planner
+    // produces a valid dominated-nowhere plan for GoogLeNet.
+    for net in [NetworkModel::three_g(), NetworkModel::wifi()] {
+        let s = Scenario::paper_default(Model::GoogLeNet, net);
+        let jps = s.plan(Strategy::Jps, 50);
+        let lo = s.plan(Strategy::LocalOnly, 50);
+        let co = s.plan(Strategy::CloudOnly, 50);
+        assert!(jps.makespan_ms <= lo.makespan_ms.min(co.makespan_ms) + 1e-6);
+    }
+}
+
+#[test]
+fn fig9_conversion_roundtrip() {
+    // The Fig. 9 DAG: 3 independent paths; duplicated nodes (source and
+    // sink) appear on all three.
+    use mcdnn_graph::{duplicate_to_multipath, Activation, LayerKind as L};
+
+    let mut b = DnnGraph::builder("fig9");
+    let relu = || L::Act(Activation::ReLU);
+    let v0 = b.input(TensorShape::chw(4, 8, 8));
+    let v1 = b.layer_after(v0, L::pointwise(4));
+    let v2 = b.layer_after(v1, relu());
+    let v3 = b.layer_after(v1, relu());
+    let v4 = b.merge(&[v2, v3], L::Add);
+    let v5 = b.layer_after(v0, L::pointwise(4));
+    let v6 = b.layer_after(v5, relu());
+    b.merge(&[v4, v6], L::Add);
+    let g = b.build().unwrap();
+
+    let pd = duplicate_to_multipath(&g).unwrap();
+    assert_eq!(pd.len(), 3);
+    assert_eq!(pd.multiplicity(g.sources()[0]), 3);
+    assert_eq!(pd.multiplicity(g.sinks()[0]), 3);
+    // Partial order preserved: every path is a valid chain of edges.
+    for path in &pd.paths {
+        for w in path.windows(2) {
+            assert!(g.successors(w[0]).contains(&w[1]));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Fuzz-style robustness for the `.dnn` parser: arbitrary garbage must
+//! produce a structured error (never a panic), and structurally valid
+//! random programs must round-trip into graphs whose invariants hold.
+
+use proptest::prelude::*;
+
+use mcdnn_graph::parse_model;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_text_never_panics(text in ".{0,400}") {
+        // Any result is fine; a panic would fail the test harness.
+        let _ = parse_model("fuzz", &text);
+    }
+
+    #[test]
+    fn line_noise_with_plausible_tokens_never_panics(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "input", "conv", "relu", "dense", "maxpool", "concat", "add",
+                "(", ")", ":", "<-", ",", "=", "3", "k", "x1", "#", "\n", " ",
+            ]),
+            0..120,
+        )
+    ) {
+        let text: String = tokens.concat();
+        let _ = parse_model("fuzz", &text);
+    }
+
+    #[test]
+    fn random_valid_chains_parse_and_validate(
+        convs in prop::collection::vec((1usize..24, prop::bool::ANY), 1..8),
+    ) {
+        // Generate a syntactically valid chain program.
+        let mut text = String::from("in: input(3, 64, 64)\n");
+        for (i, (ch, pool)) in convs.iter().enumerate() {
+            text.push_str(&format!("c{i}: conv({ch}, k=3, p=1)\n"));
+            text.push_str(&format!("r{i}: relu\n"));
+            if *pool && i < 3 {
+                text.push_str(&format!("p{i}: maxpool(k=2, s=2)\n"));
+            }
+        }
+        text.push_str("out: dense(10)\n");
+        let g = parse_model("gen", &text).expect("generated program is valid");
+        prop_assert!(g.is_line_structure());
+        prop_assert!(g.total_flops() > 0);
+        // Edges respect topological numbering.
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn random_branchy_programs_parse(
+        widths in prop::collection::vec(2usize..5, 1..4),
+    ) {
+        // input -> fan-out -> concat, repeated; always valid.
+        let mut text = String::from("in: input(8, 16, 16)\n");
+        let mut prev = "in".to_string();
+        for (b, &w) in widths.iter().enumerate() {
+            let mut names = Vec::new();
+            for i in 0..w {
+                let name = format!("b{b}_{i}");
+                text.push_str(&format!("{name}: conv(4, k=1) <- {prev}\n"));
+                names.push(name);
+            }
+            let cat = format!("cat{b}");
+            text.push_str(&format!("{cat}: concat <- {}\n", names.join(", ")));
+            prev = cat;
+        }
+        let g = parse_model("branchy", &text).expect("valid branchy program");
+        prop_assert!(!g.is_line_structure());
+        // Articulation chain includes every concat.
+        let chain = mcdnn_graph::articulation_chain(&g);
+        prop_assert!(chain.len() > widths.len());
+    }
+}
+
+#[test]
+fn error_messages_carry_line_numbers() {
+    let text = "in: input(3, 8, 8)\nok: relu\nbad: frobnicate(3)\n";
+    let err = parse_model("e", text).unwrap_err().to_string();
+    assert!(err.contains("line 3"), "got: {err}");
+}
