@@ -31,26 +31,33 @@ fn scheduling_ablation() {
     );
     println!("| model | net | Johnson | FIFO | reversed | Johnson gain vs worst |");
     println!("|---|---|---|---|---|---|");
+    let mut grid = Vec::new();
     for model in Model::EVALUATED {
         for (label, net) in [("4G", NetworkModel::four_g()), ("Wi-Fi", NetworkModel::wifi())] {
-            let s = Scenario::paper_default(model, net);
-            let plan = jps_best_mix_plan(s.profile(), 100);
-            let jobs = plan.jobs(s.profile());
-            let johnson = plan.makespan_ms;
-            let fifo_order: Vec<usize> = (0..jobs.len()).collect();
-            let fifo = makespan(&jobs, &fifo_order);
-            let mut rev = plan.order.clone();
-            rev.reverse();
-            let reversed = makespan(&jobs, &rev);
-            let worst = fifo.max(reversed);
-            println!(
-                "| {model} | {label} | {} | {} | {} | -{:.1}% |",
-                fmt_ms(johnson),
-                fmt_ms(fifo),
-                fmt_ms(reversed),
-                (1.0 - johnson / worst) * 100.0
-            );
+            grid.push((model, label, net));
         }
+    }
+    let rows = mcdnn_runtime::parallel_map(&grid, |_, &(model, label, net)| {
+        let s = Scenario::paper_default(model, net);
+        let plan = jps_best_mix_plan(s.profile(), 100);
+        let jobs = plan.jobs(s.profile());
+        let johnson = plan.makespan_ms;
+        let fifo_order: Vec<usize> = (0..jobs.len()).collect();
+        let fifo = makespan(&jobs, &fifo_order);
+        let mut rev = plan.order.clone();
+        rev.reverse();
+        let reversed = makespan(&jobs, &rev);
+        let worst = fifo.max(reversed);
+        format!(
+            "| {model} | {label} | {} | {} | {} | -{:.1}% |",
+            fmt_ms(johnson),
+            fmt_ms(fifo),
+            fmt_ms(reversed),
+            (1.0 - johnson / worst) * 100.0
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }
 
@@ -62,7 +69,8 @@ fn partition_ablation() {
     println!("| model | best common cut | JPS (ratio) | JPS* (best mix) | BF exact |");
     println!("|---|---|---|---|---|");
     let n = 6;
-    for model in [Model::AlexNet, Model::AlexNetPrime, Model::MobileNetV2] {
+    let models = [Model::AlexNet, Model::AlexNetPrime, Model::MobileNetV2];
+    let rows = mcdnn_runtime::parallel_map(&models, |_, &model| {
         let s = Scenario::paper_default(model, NetworkModel::wifi());
         let p = s.profile();
         let common = (0..=p.k())
@@ -71,13 +79,16 @@ fn partition_ablation() {
         let ratio = jps_plan(p, n).makespan_ms;
         let best = jps_best_mix_plan(p, n).makespan_ms;
         let bf = brute_force_plan(p, n).makespan_ms;
-        println!(
+        format!(
             "| {model} | {} | {} | {} | {} |",
             fmt_ms(common),
             fmt_ms(ratio),
             fmt_ms(best),
             fmt_ms(bf)
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }
 
@@ -102,29 +113,36 @@ fn cloud_stage_audit() {
     );
     println!("| model | net | 2-stage ms | 3-stage (1 slot) ms | 3-stage (8 slots, DES) ms | error % |");
     println!("|---|---|---|---|---|---|");
+    let mut grid = Vec::new();
     for model in Model::EVALUATED {
         for (label, net) in [("3G", NetworkModel::three_g()), ("Wi-Fi", NetworkModel::wifi())] {
-            let s = Scenario::paper_default(model, net);
-            let plan = s.plan(Strategy::Jps, 100);
-            let jobs = plan.jobs(s.profile());
-            let two = plan.makespan_ms;
-            let three = makespan_three_stage(&jobs, &plan.order);
-            let des8 = simulate(
-                &jobs,
-                &plan.order,
-                &DesConfig {
-                    cloud_slots: 8,
-                    ..DesConfig::default()
-                },
-            )
-            .makespan_ms;
-            println!(
-                "| {model} | {label} | {} | {} | {} | {:.3}% |",
-                fmt_ms(two),
-                fmt_ms(three),
-                fmt_ms(des8),
-                (three / two - 1.0) * 100.0
-            );
+            grid.push((model, label, net));
         }
+    }
+    let rows = mcdnn_runtime::parallel_map(&grid, |_, &(model, label, net)| {
+        let s = Scenario::paper_default(model, net);
+        let plan = s.plan(Strategy::Jps, 100);
+        let jobs = plan.jobs(s.profile());
+        let two = plan.makespan_ms;
+        let three = makespan_three_stage(&jobs, &plan.order);
+        let des8 = simulate(
+            &jobs,
+            &plan.order,
+            &DesConfig {
+                cloud_slots: 8,
+                ..DesConfig::default()
+            },
+        )
+        .makespan_ms;
+        format!(
+            "| {model} | {label} | {} | {} | {} | {:.3}% |",
+            fmt_ms(two),
+            fmt_ms(three),
+            fmt_ms(des8),
+            (three / two - 1.0) * 100.0
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

@@ -39,40 +39,49 @@ fn main() {
 
     println!("| model | trace | static (s) | estimated (s) | oracle (s) | gap recovered |");
     println!("|---|---|---|---|---|---|");
+    let mut grid = Vec::new();
     for model in [Model::AlexNet, Model::MobileNetV2] {
+        for (label, trace) in &traces {
+            grid.push((model, *label, trace.clone()));
+        }
+    }
+    // Each (model, trace, policy) run is independent: fan the grid out
+    // over the worker pool and print the finished rows in grid order.
+    let rows = mcdnn_runtime::parallel_map(&grid, |_, (model, label, trace)| {
         let line = model.line().expect("zoo model");
         let mobile = DeviceModel::raspberry_pi4();
-        for (label, trace) in &traces {
-            let fixed = run_online(
-                &line, &mobile, trace, bursts, jobs, setup_ms, ReplanPolicy::Static,
-            );
-            let est = run_online(
-                &line,
-                &mobile,
-                trace,
-                bursts,
-                jobs,
-                setup_ms,
-                ReplanPolicy::Estimated {
-                    noise_frac: 0.08,
-                    seed: 7,
-                },
-            );
-            let oracle = run_online(
-                &line, &mobile, trace, bursts, jobs, setup_ms, ReplanPolicy::Oracle,
-            );
-            let gap = fixed.total_ms() - oracle.total_ms();
-            let recovered = if gap > 1e-6 {
-                format!("{:.0}%", (fixed.total_ms() - est.total_ms()) / gap * 100.0)
-            } else {
-                "—".to_string()
-            };
-            println!(
-                "| {model} | {label} | {:.2} | {:.2} | {:.2} | {recovered} |",
-                fixed.total_ms() / 1e3,
-                est.total_ms() / 1e3,
-                oracle.total_ms() / 1e3,
-            );
-        }
+        let fixed = run_online(
+            &line, &mobile, trace, bursts, jobs, setup_ms, ReplanPolicy::Static,
+        );
+        let est = run_online(
+            &line,
+            &mobile,
+            trace,
+            bursts,
+            jobs,
+            setup_ms,
+            ReplanPolicy::Estimated {
+                noise_frac: 0.08,
+                seed: 7,
+            },
+        );
+        let oracle = run_online(
+            &line, &mobile, trace, bursts, jobs, setup_ms, ReplanPolicy::Oracle,
+        );
+        let gap = fixed.total_ms() - oracle.total_ms();
+        let recovered = if gap > 1e-6 {
+            format!("{:.0}%", (fixed.total_ms() - est.total_ms()) / gap * 100.0)
+        } else {
+            "—".to_string()
+        };
+        format!(
+            "| {model} | {label} | {:.2} | {:.2} | {:.2} | {recovered} |",
+            fixed.total_ms() / 1e3,
+            est.total_ms() / 1e3,
+            oracle.total_ms() / 1e3,
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

@@ -1,0 +1,198 @@
+//! Planner hot-path micro-benchmark (no external harness).
+//!
+//! Times the kernel-based planners (`mcdnn_partition::{jps_plan,
+//! jps_best_mix_plan}`, O(1) makespan per candidate) against the
+//! pre-refactor reference implementations
+//! (`mcdnn_partition::reference`, full plan materialization per
+//! candidate) on synthetic monotone profiles, checks both paths return
+//! identical plans, and writes the numbers to `BENCH_planner.json` at
+//! the repo root.
+//!
+//! ```text
+//! cargo run -p mcdnn-bench --release --bin planner_bench
+//! ```
+
+use std::time::{Duration, Instant};
+
+use mcdnn_bench::banner;
+use mcdnn_partition::{jps_best_mix_plan, jps_plan, reference, Plan};
+use mcdnn_profile::CostProfile;
+use mcdnn_rng::Rng;
+
+/// Per-call budget: refine the estimate with more reps until this much
+/// wall time is spent (slow reference calls get a single rep).
+const BUDGET: Duration = Duration::from_millis(150);
+const MAX_REPS: u32 = 2_000;
+
+struct Row {
+    planner: &'static str,
+    k: usize,
+    n: usize,
+    reference_ns: f64,
+    kernel_ns: f64,
+    identical: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.reference_ns / self.kernel_ns
+    }
+}
+
+fn main() {
+    banner(
+        "Planner micro-benchmark",
+        "kernel candidate scoring beats full plan materialization by >= 20x at n = 10_000",
+    );
+    let mut rows = Vec::new();
+    for &k in &[10usize, 50] {
+        let profile = synthetic_profile(k, 0xC0FFEE ^ k as u64);
+        for &n in &[100usize, 1_000, 10_000] {
+            rows.push(bench_planner(
+                "jps_plan",
+                &profile,
+                k,
+                n,
+                reference::jps_plan,
+                jps_plan,
+            ));
+            rows.push(bench_planner(
+                "jps_best_mix_plan",
+                &profile,
+                k,
+                n,
+                reference::jps_best_mix_plan,
+                jps_best_mix_plan,
+            ));
+        }
+    }
+
+    println!("| planner | k | n | reference | kernel | speedup | plans identical |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.1}x | {} |",
+            r.planner,
+            r.k,
+            r.n,
+            fmt_ns(r.reference_ns),
+            fmt_ns(r.kernel_ns),
+            r.speedup(),
+            if r.identical { "yes" } else { "NO" },
+        );
+    }
+
+    let all_identical = rows.iter().all(|r| r.identical);
+    let target_met = rows
+        .iter()
+        .filter(|r| r.planner == "jps_best_mix_plan" && r.n == 10_000)
+        .all(|r| r.speedup() >= 20.0);
+    println!();
+    println!(
+        "plans identical on every case: {}",
+        if all_identical { "yes" } else { "NO" }
+    );
+    println!(
+        "jps_best_mix_plan speedup >= 20x at n = 10_000: {}",
+        if target_met { "yes" } else { "NO" }
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
+    std::fs::write(path, to_json(&rows, all_identical, target_met)).expect("write json");
+    println!("wrote {path}");
+    assert!(all_identical, "kernel path diverged from the reference");
+}
+
+fn bench_planner(
+    planner: &'static str,
+    profile: &CostProfile,
+    k: usize,
+    n: usize,
+    reference: impl Fn(&CostProfile, usize) -> Plan,
+    kernel: impl Fn(&CostProfile, usize) -> Plan,
+) -> Row {
+    let (slow_plan, reference_ns) = bench(|| reference(profile, n));
+    let (fast_plan, kernel_ns) = bench(|| kernel(profile, n));
+    Row {
+        planner,
+        k,
+        n,
+        reference_ns,
+        kernel_ns,
+        identical: fast_plan == slow_plan,
+    }
+}
+
+/// Run `f` at least once (returning the first result), then keep
+/// repeating until [`BUDGET`] is spent; report mean ns per call.
+fn bench<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let first = std::hint::black_box(f());
+    let mut reps = 1u32;
+    while start.elapsed() < BUDGET && reps < MAX_REPS {
+        std::hint::black_box(f());
+        reps += 1;
+    }
+    (first, start.elapsed().as_nanos() as f64 / f64::from(reps))
+}
+
+/// Monotone synthetic profile with `k + 1` cut points: `f` strictly
+/// increasing from 0, `g` non-increasing to 0 — the shape real
+/// mobile/uplink profiles take (Fig. 4 of the paper).
+fn synthetic_profile(k: usize, seed: u64) -> CostProfile {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut f = Vec::with_capacity(k + 1);
+    f.push(0.0);
+    let mut acc = 0.0;
+    for _ in 0..k {
+        acc += rng.gen_range(0.5..3.0);
+        f.push(acc);
+    }
+    let mut g = Vec::with_capacity(k + 1);
+    let mut rem = acc * rng.gen_range(0.8..1.2);
+    for _ in 0..k {
+        g.push(rem);
+        rem = (rem - rng.gen_range(0.5..3.0)).max(0.0);
+    }
+    g.push(0.0);
+    CostProfile::from_vectors(format!("synthetic-k{k}"), f, g, None)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn to_json(rows: &[Row], all_identical: bool, target_met: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo run -p mcdnn-bench --release --bin planner_bench\",\n",
+    );
+    out.push_str(&format!("  \"plans_identical\": {all_identical},\n"));
+    out.push_str(&format!(
+        "  \"best_mix_speedup_at_10k_over_20x\": {target_met},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"planner\": \"{}\", \"k\": {}, \"n\": {}, \"reference_ns\": {:.0}, \"kernel_ns\": {:.0}, \"speedup\": {:.1}, \"plans_identical\": {}}}{}\n",
+            r.planner,
+            r.k,
+            r.n,
+            r.reference_ns,
+            r.kernel_ns,
+            r.speedup(),
+            r.identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

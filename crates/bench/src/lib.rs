@@ -1,8 +1,8 @@
 //! # mcdnn-bench
 //!
 //! The benchmark harness: one binary per table/figure of the paper's
-//! evaluation section, plus Criterion micro-benchmarks for the planner
-//! itself. Run everything with:
+//! evaluation section, plus a dependency-free planner micro-benchmark
+//! (`planner_bench`). Run everything with:
 //!
 //! ```text
 //! cargo run -p mcdnn-bench --release --bin fig04_alexnet_layers
@@ -13,12 +13,17 @@
 //! cargo run -p mcdnn-bench --release --bin fig14_ratio_sweep
 //! cargo run -p mcdnn-bench --release --bin table1_reduction
 //! cargo run -p mcdnn-bench --release --bin fig02_toy
-//! cargo bench -p mcdnn-bench
+//! cargo run -p mcdnn-bench --release --bin planner_bench
 //! ```
 //!
 //! Each binary prints the regenerated rows/series in markdown and notes
 //! the paper's qualitative claim it reproduces; `EXPERIMENTS.md` at the
-//! repo root records paper-vs-measured per experiment.
+//! repo root records paper-vs-measured per experiment. `planner_bench`
+//! times the O(1)-kernel planner hot path against the pre-refactor
+//! reference implementation and writes `BENCH_planner.json` at the repo
+//! root. Sweep-style binaries fan their scenario grids out over a
+//! `std`-only worker pool ([`mcdnn_runtime::parallel_map`]); set
+//! `MCDNN_THREADS=1` for fully serial runs.
 
 /// Format a millisecond value compactly for tables.
 pub fn fmt_ms(v: f64) -> String {

@@ -4,6 +4,12 @@
 //! Every function returns plain data rows; [`markdown_table`] and
 //! [`to_csv`] render them. The bench crate wraps each in a binary that
 //! prints the regenerated table/figure series (see `EXPERIMENTS.md`).
+//!
+//! Sweep points are independent, so the grid-shaped experiments
+//! (strategy comparison, bandwidth sweep, ratio sweep, BF comparison)
+//! fan out across cores with [`mcdnn_runtime::parallel_map`] — output
+//! order is preserved, so rows land exactly as the serial loops
+//! produced them. Set `MCDNN_THREADS=1` to force serial execution.
 
 use std::fmt::Write as _;
 
@@ -115,23 +121,27 @@ pub fn latency_comparison(models: &[Model], n: usize) -> Vec<LatencyRow> {
         Strategy::PartitionOnly,
         Strategy::Jps,
     ];
-    let mut rows = Vec::new();
-    for preset in PAPER_NETWORKS {
-        for &model in models {
-            let scenario = Scenario::paper_default(model, preset.model());
-            for s in strategies {
+    let grid: Vec<(NetworkPreset, Model)> = PAPER_NETWORKS
+        .iter()
+        .flat_map(|&preset| models.iter().map(move |&m| (preset, m)))
+        .collect();
+    let groups = mcdnn_runtime::parallel_map(&grid, |_, &(preset, model)| {
+        let scenario = Scenario::paper_default(model, preset.model());
+        strategies
+            .iter()
+            .map(|&s| {
                 let plan = scenario.plan(s, n);
-                rows.push(LatencyRow {
+                LatencyRow {
                     model,
                     network: preset.label,
                     strategy: s,
                     makespan_ms: plan.makespan_ms,
                     per_job_ms: plan.average_makespan_ms(),
-                });
-            }
-        }
-    }
-    rows
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    groups.into_iter().flatten().collect()
 }
 
 /// One Table 1 cell pair: latency reduction (%) of PO and JPS vs LO.
@@ -149,23 +159,23 @@ pub struct ReductionRow {
 
 /// Table 1: latency reduction ratio compared with LO (%).
 pub fn reduction_table(models: &[Model], n: usize) -> Vec<ReductionRow> {
-    let mut rows = Vec::new();
-    for preset in PAPER_NETWORKS {
-        for &model in models {
-            let scenario = Scenario::paper_default(model, preset.model());
-            let lo = scenario.plan(Strategy::LocalOnly, n).makespan_ms;
-            let po = scenario.plan(Strategy::PartitionOnly, n).makespan_ms;
-            let jps = scenario.plan(Strategy::Jps, n).makespan_ms;
-            let pct = |x: f64| ((1.0 - x / lo) * 100.0).max(0.0);
-            rows.push(ReductionRow {
-                model,
-                network: preset.label,
-                po_reduction_pct: pct(po),
-                jps_reduction_pct: pct(jps),
-            });
+    let grid: Vec<(NetworkPreset, Model)> = PAPER_NETWORKS
+        .iter()
+        .flat_map(|&preset| models.iter().map(move |&m| (preset, m)))
+        .collect();
+    mcdnn_runtime::parallel_map(&grid, |_, &(preset, model)| {
+        let scenario = Scenario::paper_default(model, preset.model());
+        let lo = scenario.plan(Strategy::LocalOnly, n).makespan_ms;
+        let po = scenario.plan(Strategy::PartitionOnly, n).makespan_ms;
+        let jps = scenario.plan(Strategy::Jps, n).makespan_ms;
+        let pct = |x: f64| ((1.0 - x / lo) * 100.0).max(0.0);
+        ReductionRow {
+            model,
+            network: preset.label,
+            po_reduction_pct: pct(po),
+            jps_reduction_pct: pct(jps),
         }
-    }
-    rows
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -188,20 +198,19 @@ pub struct BandwidthRow {
 }
 
 /// Fig. 13: per-job latency under bandwidths `mbps` for `n` jobs.
+/// Sweep points are evaluated in parallel (order preserved).
 pub fn bandwidth_sweep(model: Model, mbps: &[f64], n: usize) -> Vec<BandwidthRow> {
     let base = Scenario::paper_default(model, NetworkModel::wifi());
-    mbps.iter()
-        .map(|&b| {
-            let s = base.with_network(NetworkModel::new(b, NetworkModel::wifi().setup_ms));
-            BandwidthRow {
-                bandwidth_mbps: b,
-                lo_ms: s.plan(Strategy::LocalOnly, n).average_makespan_ms(),
-                co_ms: s.plan(Strategy::CloudOnly, n).average_makespan_ms(),
-                po_ms: s.plan(Strategy::PartitionOnly, n).average_makespan_ms(),
-                jps_ms: s.plan(Strategy::Jps, n).average_makespan_ms(),
-            }
-        })
-        .collect()
+    mcdnn_runtime::parallel_map(mbps, |_, &b| {
+        let s = base.with_network(NetworkModel::new(b, NetworkModel::wifi().setup_ms));
+        BandwidthRow {
+            bandwidth_mbps: b,
+            lo_ms: s.plan(Strategy::LocalOnly, n).average_makespan_ms(),
+            co_ms: s.plan(Strategy::CloudOnly, n).average_makespan_ms(),
+            po_ms: s.plan(Strategy::PartitionOnly, n).average_makespan_ms(),
+            jps_ms: s.plan(Strategy::Jps, n).average_makespan_ms(),
+        }
+    })
 }
 
 /// The benefit range of JPS (paper §6.3, Fig. 13): bandwidths where JPS
@@ -233,11 +242,11 @@ pub struct RatioRow {
 }
 
 /// Fig. 14: makespan of `n` jobs as the mix between the two adjacent
-/// cut types varies, at each bandwidth.
+/// cut types varies, at each bandwidth. Bandwidth points are evaluated
+/// in parallel (order preserved).
 pub fn ratio_sweep(model: Model, mbps: &[f64], ratios: &[f64], n: usize) -> Vec<RatioRow> {
     let base = Scenario::paper_default(model, NetworkModel::wifi());
-    let mut rows = Vec::new();
-    for &b in mbps {
+    let groups = mcdnn_runtime::parallel_map(mbps, |_, &b| {
         let s = base.with_network(NetworkModel::new(b, NetworkModel::wifi().setup_ms));
         let profile = s.profile();
         let search = binary_search_cut(profile);
@@ -245,26 +254,29 @@ pub fn ratio_sweep(model: Model, mbps: &[f64], ratios: &[f64], n: usize) -> Vec<
             Some(p) => (p, search.l_star),
             None => (search.l_star, search.l_star),
         };
-        for &r in ratios {
-            assert!(r > 0.0, "ratio must be positive");
-            // ratio = comp/comm -> comm share = n / (1 + r).
-            let comm = ((n as f64) / (1.0 + r)).round() as usize;
-            let comm = comm.min(n);
-            let comp = n - comm;
-            let mut cuts = vec![prev; comm];
-            cuts.extend(std::iter::repeat_n(star, comp));
-            let plan =
-                mcdnn_partition::Plan::from_cuts(Strategy::Jps, profile, cuts);
-            rows.push(RatioRow {
-                bandwidth_mbps: b,
-                ratio: r,
-                comp_heavy_jobs: comp,
-                comm_heavy_jobs: comm,
-                makespan_ms: plan.makespan_ms,
-            });
-        }
-    }
-    rows
+        ratios
+            .iter()
+            .map(|&r| {
+                assert!(r > 0.0, "ratio must be positive");
+                // ratio = comp/comm -> comm share = n / (1 + r).
+                let comm = ((n as f64) / (1.0 + r)).round() as usize;
+                let comm = comm.min(n);
+                let comp = n - comm;
+                let mut cuts = vec![prev; comm];
+                cuts.extend(std::iter::repeat_n(star, comp));
+                let plan =
+                    mcdnn_partition::Plan::from_cuts(Strategy::Jps, profile, cuts);
+                RatioRow {
+                    bandwidth_mbps: b,
+                    ratio: r,
+                    comp_heavy_jobs: comp,
+                    comm_heavy_jobs: comm,
+                    makespan_ms: plan.makespan_ms,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    groups.into_iter().flatten().collect()
 }
 
 // ---------------------------------------------------------------------
@@ -291,19 +303,20 @@ pub struct BfCompareRow {
 pub fn bf_comparison(model: Model, ns: &[usize], network: NetworkModel) -> Vec<BfCompareRow> {
     let scenario = Scenario::paper_default(model, network);
     let k = scenario.profile().k();
-    ns.iter()
-        .map(|&n| {
-            let jps = scenario.plan(Strategy::Jps, n).makespan_ms;
-            let feasible = binomial_le(n + k, k, 2_000_000);
-            let bf = feasible.then(|| scenario.plan(Strategy::BruteForce, n).makespan_ms);
-            BfCompareRow {
-                model,
-                n,
-                jps_ms: jps,
-                bf_ms: bf,
-            }
-        })
-        .collect()
+    // BF points grow combinatorially with n while JPS points stay
+    // trivial — exactly the skewed workload the dynamic work queue
+    // balances.
+    mcdnn_runtime::parallel_map(ns, |_, &n| {
+        let jps = scenario.plan(Strategy::Jps, n).makespan_ms;
+        let feasible = binomial_le(n + k, k, 2_000_000);
+        let bf = feasible.then(|| scenario.plan(Strategy::BruteForce, n).makespan_ms);
+        BfCompareRow {
+            model,
+            n,
+            jps_ms: jps,
+            bf_ms: bf,
+        }
+    })
 }
 
 fn binomial_le(n: usize, k: usize, limit: u128) -> bool {

@@ -1,7 +1,5 @@
 //! Flow-shop jobs.
 
-use serde::{Deserialize, Serialize};
-
 /// A job with a mobile computation stage, a communication stage and an
 /// optional cloud computation stage, all in milliseconds.
 ///
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// and `cloud_ms` is the (usually negligible) remote remainder. The
 /// communication stage cannot start before the computation stage
 /// completes; each stage occupies its machine exclusively (§3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowJob {
     /// Stable job identifier (index into the caller's job list).
     pub id: usize,

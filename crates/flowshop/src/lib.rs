@@ -18,6 +18,8 @@
 //! * [`bruteforce`] — exhaustive permutation search (the paper's BF
 //!   baseline) for small `n`.
 //! * [`bounds`] — standard `F2` lower bounds used as sanity oracles.
+//! * [`kernels`] — closed-form O(1) makespan kernels for homogeneous
+//!   job blocks, the planner's hot path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod flowtime;
 pub mod bruteforce;
 pub mod job;
 pub mod johnson;
+pub mod kernels;
 pub mod makespan;
 pub mod release;
 pub mod three;
@@ -36,6 +39,9 @@ pub use bruteforce::{best_permutation, BruteForceResult};
 pub use flowtime::{flowtime_order, spt_order, total_flowtime};
 pub use job::FlowJob;
 pub use johnson::{johnson_order, JobClass};
+pub use kernels::{
+    johnson_blocks_makespan, two_type_mix_makespan, uniform_makespan, PipelineState,
+};
 pub use makespan::{
     average_completion_ms, gantt, makespan, makespan_closed_form, makespan_three_stage, Gantt,
     StageInterval,

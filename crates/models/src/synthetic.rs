@@ -10,7 +10,7 @@
 //! force.
 
 use mcdnn_graph::{cluster_virtual_blocks, LineDnn, LineLayer};
-use rand::Rng;
+use mcdnn_rng::Rng;
 
 use crate::alexnet;
 
@@ -99,8 +99,8 @@ pub fn exponential_line(
 /// clustering form every partition algorithm consumes. FLOPs per layer
 /// are drawn from `flops_range`; volumes shrink by a random factor in
 /// `shrink_range` per layer.
-pub fn random_monotone_line<R: Rng + ?Sized>(
-    rng: &mut R,
+pub fn random_monotone_line(
+    rng: &mut Rng,
     k: usize,
     input_bytes: usize,
     flops_range: (u64, u64),
@@ -125,8 +125,8 @@ pub fn random_monotone_line<R: Rng + ?Sized>(
 
 /// Random line DNN with *arbitrary* (possibly locally increasing) offload
 /// volumes — exercises the clustering path.
-pub fn random_bumpy_line<R: Rng + ?Sized>(
-    rng: &mut R,
+pub fn random_bumpy_line(
+    rng: &mut Rng,
     k: usize,
     input_bytes: usize,
     flops_range: (u64, u64),
@@ -146,8 +146,6 @@ pub fn random_bumpy_line<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn log_linear_fit_recovers_exact_exponential() {
@@ -207,7 +205,7 @@ mod tests {
 
     #[test]
     fn random_monotone_line_is_monotone() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..20 {
             let l = random_monotone_line(&mut rng, 12, 1 << 16, (100, 10_000), (0.3, 0.9));
             assert!(mcdnn_graph::cluster::is_strictly_decreasing_volume(&l));
@@ -216,7 +214,7 @@ mod tests {
 
     #[test]
     fn bumpy_line_clusters_clean() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for _ in 0..20 {
             let l = random_bumpy_line(&mut rng, 15, 4096, (10, 1000));
             let (c, _) = mcdnn_graph::cluster_virtual_blocks(&l);

@@ -1,10 +1,10 @@
 //! Comparison strategies from the paper's §6.2: LO, CO, PO and the
 //! exact joint brute force (BF).
 
-use mcdnn_flowshop::{johnson_order, makespan};
+use mcdnn_flowshop::kernels::johnson_blocks_makespan;
 use mcdnn_profile::CostProfile;
 
-use crate::plan::{jobs_for_cuts, Plan, Strategy};
+use crate::plan::{Plan, Strategy};
 
 /// LO: every job runs fully on the mobile device (cut `k`).
 pub fn local_only_plan(profile: &CostProfile, n: usize) -> Plan {
@@ -36,6 +36,11 @@ pub fn partition_only_plan(profile: &CostProfile, n: usize) -> Plan {
 /// (jobs are homogeneous, so only cut *counts* matter) and schedule
 /// each with Johnson's rule (optimal for fixed cuts).
 ///
+/// Each multiset is scored with the O(k log k) block kernel
+/// ([`johnson_blocks_makespan`]) — a multiset *is* `k + 1` homogeneous
+/// blocks, so per-candidate cost no longer depends on `n` and only the
+/// winning multiset is expanded into a cut vector.
+///
 /// Complexity is `C(n + k, k)` multisets; callers should keep
 /// `n` and `k` small (the paper uses BF only on small inputs).
 /// Panics when the multiset count would exceed `10_000_000`.
@@ -46,21 +51,28 @@ pub fn brute_force_plan(profile: &CostProfile, n: usize) -> Plan {
         combos <= 10_000_000,
         "joint brute force would enumerate {combos} multisets; reduce n or k"
     );
+    let fg: Vec<(f64, f64)> = (0..=k).map(|c| (profile.f(c), profile.g(c))).collect();
     let mut best: Option<(f64, Vec<usize>)> = None;
     let mut counts = vec![0usize; k + 1];
+    let mut blocks: Vec<(usize, f64, f64)> = Vec::with_capacity(k + 1);
     enumerate_multisets(&mut counts, 0, n, &mut |counts| {
-        let mut cuts = Vec::with_capacity(n);
-        for (cut, &c) in counts.iter().enumerate() {
-            cuts.extend(std::iter::repeat_n(cut, c));
-        }
-        let jobs = jobs_for_cuts(profile, &cuts);
-        let order = johnson_order(&jobs);
-        let span = makespan(&jobs, &order);
+        blocks.clear();
+        blocks.extend(
+            counts
+                .iter()
+                .zip(&fg)
+                .map(|(&c, &(f, g))| (c, f, g)),
+        );
+        let span = johnson_blocks_makespan(&blocks);
         if best.as_ref().is_none_or(|(b, _)| span < *b) {
-            best = Some((span, cuts));
+            best = Some((span, counts.to_vec()));
         }
     });
-    let (_, cuts) = best.expect("at least one multiset exists");
+    let (_, winning_counts) = best.expect("at least one multiset exists");
+    let mut cuts = Vec::with_capacity(n);
+    for (cut, &c) in winning_counts.iter().enumerate() {
+        cuts.extend(std::iter::repeat_n(cut, c));
+    }
     Plan::from_cuts(Strategy::BruteForce, profile, cuts)
 }
 

@@ -15,6 +15,7 @@
 //! within one job — with shared nodes billed only at their first
 //! appearance.
 
+use mcdnn_flowshop::kernels::{johnson_blocks_makespan, uniform_makespan};
 use mcdnn_graph::{
     cluster_virtual_blocks, collapse_to_line, decompose_into_paths, segments, DnnGraph,
     GraphError, LineDnn, LineLayer, NodeId,
@@ -168,19 +169,14 @@ fn path_pipelined_makespan(
             network.upload_ms(upload_bytes),
         ));
     }
-    let mut jobs: Vec<mcdnn_flowshop::FlowJob> =
-        Vec::with_capacity(n * stage_pairs.len());
-    for j in 0..n {
-        for (p, &(f, g)) in stage_pairs.iter().enumerate() {
-            jobs.push(mcdnn_flowshop::FlowJob::two_stage(
-                j * stage_pairs.len() + p,
-                f,
-                g,
-            ));
-        }
-    }
-    let order = mcdnn_flowshop::johnson_order(&jobs);
-    mcdnn_flowshop::makespan(&jobs, &order)
+    // The n × P instances are n copies of each path type: P homogeneous
+    // blocks of n jobs. The block kernel schedules them in Johnson
+    // order in O(P log P), independent of n (Johnson's rule is
+    // indifferent to order within a block, so the makespan is the same
+    // as materializing all n × P instances).
+    let blocks: Vec<(usize, f64, f64)> =
+        stage_pairs.iter().map(|&(f, g)| (n, f, g)).collect();
+    johnson_blocks_makespan(&blocks)
 }
 
 /// Per-segment refinement for DAGs whose whole-graph path count
@@ -284,11 +280,7 @@ pub fn general_jps_plan(
         let mut best_cuts: Option<(Vec<NodeId>, f64, f64, f64)> = None;
         for cuts in segment_refined_cuts(graph, mobile, network)? {
             let (f_ms, g_ms) = eval_cut_set(graph, &cuts, mobile, network);
-            let jobs: Vec<mcdnn_flowshop::FlowJob> = (0..n)
-                .map(|j| mcdnn_flowshop::FlowJob::two_stage(j, f_ms, g_ms))
-                .collect();
-            let order = mcdnn_flowshop::johnson_order(&jobs);
-            let span = mcdnn_flowshop::makespan(&jobs, &order);
+            let span = uniform_makespan(n, f_ms, g_ms);
             if best_cuts.as_ref().is_none_or(|(_, _, _, b)| span < *b) {
                 best_cuts = Some((cuts, f_ms, g_ms, span));
             }
@@ -309,11 +301,7 @@ pub fn general_jps_plan(
     let paths = decompose_into_paths(graph, path_cap)?;
     let cuts = multipath_cuts(graph, mobile, network, path_cap)?;
     let (f_ms, g_ms) = eval_cut_set(graph, &cuts, mobile, network);
-    let jobs: Vec<mcdnn_flowshop::FlowJob> = (0..n)
-        .map(|j| mcdnn_flowshop::FlowJob::two_stage(j, f_ms, g_ms))
-        .collect();
-    let order = mcdnn_flowshop::johnson_order(&jobs);
-    let makespan_ms = mcdnn_flowshop::makespan(&jobs, &order);
+    let makespan_ms = uniform_makespan(n, f_ms, g_ms);
     let path_pipelined_makespan_ms =
         path_pipelined_makespan(graph, &paths, &cuts, n, mobile, network);
 

@@ -10,10 +10,24 @@
 //! [`jps_best_mix_plan`] replaces the closed-form ratio with an `O(n)`
 //! scan over every mix count — never worse than the ratio plan, used to
 //! quantify how much the closed form gives away (ablation bench).
+//!
+//! ## Hot path
+//!
+//! Every candidate either cuts all `n` jobs at one layer or mixes two
+//! adjacent cut types, so it is *scored* in O(1) with the closed-form
+//! kernels of [`mcdnn_flowshop::kernels`] — no job vectors, no Johnson
+//! sort, no O(n) recurrence per candidate. Only the winning candidate
+//! is materialized into a [`Plan`] (whose `makespan_ms` is therefore
+//! still the exact recurrence value). This drops [`jps_plan`] from
+//! O(k·n log n) to O(k + n) and [`jps_best_mix_plan`] from
+//! O(n² log n) to O(k + n). The pre-refactor implementations survive in
+//! [`crate::reference`]; property tests pin the two paths to
+//! bit-identical output.
 
+use mcdnn_flowshop::kernels::{two_type_mix_makespan, uniform_makespan};
 use mcdnn_profile::CostProfile;
 
-use crate::alg2::binary_search_cut;
+use crate::alg2::{binary_search_cut, CutSearch};
 use crate::plan::{Plan, Strategy};
 
 /// Number of jobs cut at each of the two types for a given ratio.
@@ -29,24 +43,109 @@ fn split_by_ratio(n: usize, ratio: usize) -> (usize, usize) {
     (full_groups * ratio, full_groups + remainder)
 }
 
-/// The ratio-mix cut assignment of the paper's Alg. 2 line 9.
-fn ratio_mix_cuts(profile: &CostProfile, n: usize) -> Vec<usize> {
-    let search = binary_search_cut(profile);
-    let l_star = search.l_star;
-    match (search.l_prev, search.ratio) {
-        // l* = 0, exact balance, or degenerate denominator: one type.
-        (None, _) | (_, None) => vec![l_star; n],
-        (Some(prev), Some(ratio)) => {
-            if ratio == 0 {
-                vec![l_star; n]
-            } else {
-                let (at_prev, at_star) = split_by_ratio(n, ratio);
-                let mut cuts = vec![prev; at_prev];
-                cuts.extend(std::iter::repeat_n(l_star, at_star));
-                cuts
+/// A candidate cut assignment, described — not materialized.
+///
+/// `Uniform(l)` is `n` jobs at layer `l`; `Mix { at_prev }` is
+/// `at_prev` jobs at `l*−1` and the rest at `l*` (only constructed when
+/// Alg. 2 found an `l*−1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Candidate {
+    Uniform(usize),
+    Mix { at_prev: usize },
+}
+
+impl Candidate {
+    /// O(1) kernel score: exactly the Johnson-schedule makespan the
+    /// materialized plan would have (the kernels are cross-checked
+    /// against the recurrence by the flowshop and property tests).
+    fn score(self, profile: &CostProfile, n: usize, search: &CutSearch) -> f64 {
+        match self {
+            Candidate::Uniform(l) => uniform_makespan(n, profile.f(l), profile.g(l)),
+            Candidate::Mix { at_prev } => {
+                let prev = search.l_prev.expect("Mix candidates require l_prev");
+                let star = search.l_star;
+                two_type_mix_makespan(
+                    at_prev,
+                    profile.f(prev),
+                    profile.g(prev),
+                    n - at_prev,
+                    profile.f(star),
+                    profile.g(star),
+                )
             }
         }
     }
+
+    /// Materialize the winning candidate into a full [`Plan`] — the one
+    /// allocation of the search. Cut layout matches the pre-refactor
+    /// code: the `l*−1` block first (lower job ids), then the `l*`
+    /// block.
+    fn materialize(
+        self,
+        strategy: Strategy,
+        profile: &CostProfile,
+        n: usize,
+        search: &CutSearch,
+    ) -> Plan {
+        let cuts = match self {
+            Candidate::Uniform(l) => vec![l; n],
+            Candidate::Mix { at_prev } => {
+                let prev = search.l_prev.expect("Mix candidates require l_prev");
+                let mut cuts = vec![prev; at_prev];
+                cuts.extend(std::iter::repeat_n(search.l_star, n - at_prev));
+                cuts
+            }
+        };
+        Plan::from_cuts(strategy, profile, cuts)
+    }
+}
+
+/// The mix count the ratio-mix candidate of Alg. 2 line 9 assigns to
+/// `l*−1`, or `None` when the ratio path degenerates to a single type
+/// (then the uniform `l*` candidate already covers it).
+fn ratio_mix_at_prev(search: &CutSearch, n: usize) -> Option<usize> {
+    match (search.l_prev, search.ratio) {
+        (Some(_), Some(ratio)) if ratio > 0 => Some(split_by_ratio(n, ratio).0),
+        _ => None,
+    }
+}
+
+/// Score the pre-refactor candidate list in its original order with
+/// strict-`<` improvement; return the winner and its score.
+fn best_jps_candidate(profile: &CostProfile, n: usize, search: &CutSearch) -> (Candidate, f64) {
+    let mut best = Candidate::Uniform(0);
+    let mut best_score = best.score(profile, n, search);
+    let consider = |cand: Candidate, best: &mut Candidate, best_score: &mut f64| {
+        let score = cand.score(profile, n, search);
+        if score < *best_score {
+            *best = cand;
+            *best_score = score;
+        }
+    };
+    for l in 1..=profile.k() {
+        consider(Candidate::Uniform(l), &mut best, &mut best_score);
+    }
+    // Ratio mix (Alg. 2 line 9). Degenerate ratios collapse to the
+    // uniform-l* candidate already considered above.
+    match ratio_mix_at_prev(search, n) {
+        Some(at_prev) => {
+            consider(Candidate::Mix { at_prev }, &mut best, &mut best_score)
+        }
+        None => consider(
+            Candidate::Uniform(search.l_star),
+            &mut best,
+            &mut best_score,
+        ),
+    }
+    // Proportional variant of the mix (handles n below one ratio group).
+    if let (Some(_), Some(ratio)) = (search.l_prev, search.ratio) {
+        if ratio > 0 && n > 0 {
+            let at_prev =
+                (((n * ratio) as f64 / (ratio + 1) as f64).round() as usize).min(n);
+            consider(Candidate::Mix { at_prev }, &mut best, &mut best_score);
+        }
+    }
+    (best, best_score)
 }
 
 /// The paper's JPS plan for `n` homogeneous jobs.
@@ -67,6 +166,10 @@ fn ratio_mix_cuts(profile: &CostProfile, n: usize) -> Vec<usize> {
 /// jumps between adjacent clustered blocks), which is why the sweep is
 /// kept rather than trusting `l*` alone.
 ///
+/// Each candidate is scored with the O(1) closed-form kernels; only the
+/// winner is materialized, so the whole search is O(k + n) with exactly
+/// one allocation of the cut vector.
+///
 /// ```
 /// use mcdnn_partition::{jps_plan, local_only_plan};
 /// use mcdnn_profile::CostProfile;
@@ -83,53 +186,30 @@ fn ratio_mix_cuts(profile: &CostProfile, n: usize) -> Vec<usize> {
 /// assert_eq!(jps.cuts.len(), 10);
 /// ```
 pub fn jps_plan(profile: &CostProfile, n: usize) -> Plan {
-    let mut best: Option<Plan> = None;
-    let mut consider = |cuts: Vec<usize>| {
-        let plan = Plan::from_cuts(Strategy::Jps, profile, cuts);
-        if best.as_ref().is_none_or(|b| plan.makespan_ms < b.makespan_ms) {
-            best = Some(plan);
-        }
-    };
-    for l in 0..=profile.k() {
-        consider(vec![l; n]);
-    }
-    consider(ratio_mix_cuts(profile, n));
     let search = binary_search_cut(profile);
-    if let (Some(prev), Some(ratio)) = (search.l_prev, search.ratio) {
-        if ratio > 0 && n > 0 {
-            let at_prev =
-                (((n * ratio) as f64 / (ratio + 1) as f64).round() as usize).min(n);
-            let mut cuts = vec![prev; at_prev];
-            cuts.extend(std::iter::repeat_n(search.l_star, n - at_prev));
-            consider(cuts);
-        }
-    }
-    best.expect("k + 1 >= 1 uniform candidates evaluated")
+    let (best, _) = best_jps_candidate(profile, n, &search);
+    best.materialize(Strategy::Jps, profile, n, &search)
 }
 
 /// JPS with the mix count chosen by exhaustive scan: for every
 /// `m ∈ 0..=n`, evaluate `m` jobs at `l*−1` and `n−m` at `l*`, keep the
-/// best. `O(n²)` in total (each evaluation is `O(n)` after sorting two
-/// constant job classes), still microseconds at the paper's `n = 100`.
+/// best. Every mix is scored by the O(1) kernel, so the scan is O(n)
+/// total (it was O(n² log n) when each mix built and sorted its own job
+/// vector) and still never worse than the ratio plan.
 pub fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
-    let mut best = {
-        let mut p = jps_plan(profile, n);
-        p.strategy = Strategy::JpsBestMix;
-        p
-    };
     let search = binary_search_cut(profile);
-    let Some(prev) = search.l_prev else {
-        return best;
-    };
-    for m in 0..=n {
-        let mut cuts = vec![prev; m];
-        cuts.extend(std::iter::repeat_n(search.l_star, n - m));
-        let plan = Plan::from_cuts(Strategy::JpsBestMix, profile, cuts);
-        if plan.makespan_ms < best.makespan_ms {
-            best = plan;
+    let (mut best, mut best_score) = best_jps_candidate(profile, n, &search);
+    if search.l_prev.is_some() {
+        for m in 0..=n {
+            let cand = Candidate::Mix { at_prev: m };
+            let score = cand.score(profile, n, &search);
+            if score < best_score {
+                best = cand;
+                best_score = score;
+            }
         }
     }
-    best
+    best.materialize(Strategy::JpsBestMix, profile, n, &search)
 }
 
 #[cfg(test)]
@@ -254,5 +334,26 @@ mod tests {
             plan.cuts.iter().map(|&c| p.g(c)).sum::<f64>() / plan.n() as f64;
         let limit = mean_f.max(mean_g);
         assert!((per_job - limit).abs() / limit < 0.02, "{per_job} vs {limit}");
+    }
+
+    #[test]
+    fn kernel_path_matches_reference_on_pinned_profiles() {
+        let profiles = [
+            profile(vec![0.0, 4.0, 7.0, 20.0], vec![9.0, 6.0, 2.0, 0.0]),
+            profile(vec![0.0, 2.0, 9.0, 11.0], vec![12.0, 8.0, 1.0, 0.0]),
+            profile(vec![0.0, 3.0, 6.0, 8.0], vec![20.0, 9.0, 6.0, 0.0]),
+            profile(vec![0.0, 4.0, 6.0, 30.0], vec![8.0, 6.0, 4.0, 0.0]),
+            profile(vec![0.0, 5.0, 10.0], vec![4.0, 2.0, 0.0]),
+        ];
+        for p in &profiles {
+            for n in [0usize, 1, 2, 3, 7, 20, 63] {
+                let fast = jps_plan(p, n);
+                let slow = crate::reference::jps_plan(p, n);
+                assert_eq!(fast, slow, "jps_plan n={n} profile={}", p.name());
+                let fast = jps_best_mix_plan(p, n);
+                let slow = crate::reference::jps_best_mix_plan(p, n);
+                assert_eq!(fast, slow, "best_mix n={n} profile={}", p.name());
+            }
+        }
     }
 }

@@ -20,6 +20,8 @@
 //! * [`general`] — Algorithm 3 for general-structure DAGs: independent
 //!   path decomposition, per-path Alg. 2 cuts, duplicated nodes counted
 //!   once, and the modified Johnson schedule over path instances.
+//! * [`mod@reference`] — the pre-kernel O(n log n)-per-candidate planners,
+//!   kept as the oracle for property tests and the speedup benchmark.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +38,7 @@ pub mod heterogeneous;
 pub mod jps;
 pub mod multichannel;
 pub mod plan;
+pub mod reference;
 
 pub use alg2::{binary_search_cut, mixing_ratio, CutSearch};
 pub use baselines::{brute_force_plan, cloud_only_plan, local_only_plan, partition_only_plan};

@@ -8,7 +8,7 @@
 //! regression → schedule) the paper runs.
 
 use mcdnn_graph::LineDnn;
-use rand::Rng;
+use mcdnn_rng::Rng;
 
 use crate::device::DeviceModel;
 use crate::network::NetworkModel;
@@ -16,8 +16,8 @@ use crate::regression::LinearRegression;
 
 /// One simulated measurement of the full `f` vector of a model:
 /// per-cut mobile compute times with `noise_frac` relative jitter.
-pub fn measure_f<R: Rng + ?Sized>(
-    rng: &mut R,
+pub fn measure_f(
+    rng: &mut Rng,
     line: &LineDnn,
     device: &DeviceModel,
     noise_frac: f64,
@@ -33,8 +33,8 @@ pub fn measure_f<R: Rng + ?Sized>(
 
 /// Simulated timed-upload samples `(ratio r = s/b, measured ms)` for
 /// random message sizes, as the paper's gRPC timing loop would produce.
-pub fn measure_uploads<R: Rng + ?Sized>(
-    rng: &mut R,
+pub fn measure_uploads(
+    rng: &mut Rng,
     network: &NetworkModel,
     sizes: &[usize],
     noise_frac: f64,
@@ -55,7 +55,7 @@ pub fn fit_comm_model(samples: &[(f64, f64)]) -> Option<LinearRegression> {
     LinearRegression::fit(samples)
 }
 
-fn jitter<R: Rng + ?Sized>(rng: &mut R, value: f64, frac: f64) -> f64 {
+fn jitter(rng: &mut Rng, value: f64, frac: f64) -> f64 {
     if frac == 0.0 || value == 0.0 {
         return value;
     }
@@ -68,8 +68,6 @@ fn jitter<R: Rng + ?Sized>(rng: &mut R, value: f64, frac: f64) -> f64 {
 mod tests {
     use super::*;
     use mcdnn_graph::LineLayer;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn line() -> LineDnn {
         LineDnn::from_parts(
@@ -88,7 +86,7 @@ mod tests {
 
     #[test]
     fn noiseless_measure_matches_model() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let dev = DeviceModel::new("d", 1e9, 0.5);
         let f = measure_f(&mut rng, &line(), &dev, 0.0);
         assert_eq!(f.len(), 7);
@@ -98,7 +96,7 @@ mod tests {
 
     #[test]
     fn noisy_measure_is_close_and_nonnegative() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let dev = DeviceModel::new("d", 1e9, 0.0);
         for _ in 0..50 {
             let f = measure_f(&mut rng, &line(), &dev, 0.1);
@@ -112,7 +110,7 @@ mod tests {
 
     #[test]
     fn regression_recovers_network_parameters() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let net = NetworkModel::new(10.0, 25.0);
         let sizes: Vec<usize> = (1..=40).map(|i| i * 25_000).collect();
         let samples = measure_uploads(&mut rng, &net, &sizes, 0.05);
@@ -125,7 +123,7 @@ mod tests {
 
     #[test]
     fn averaged_noisy_runs_converge_to_truth() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let dev = DeviceModel::new("d", 1e9, 0.0);
         let l = line();
         let runs: Vec<Vec<f64>> = (0..200).map(|_| measure_f(&mut rng, &l, &dev, 0.2)).collect();

@@ -1,0 +1,157 @@
+//! # mcdnn-runtime
+//!
+//! A zero-dependency parallel sweep executor. The experiment harness
+//! evaluates many *independent* scenarios — one per bandwidth, ratio,
+//! burst trace or model — and each evaluation is pure CPU work with no
+//! shared state, so a scoped-thread work queue gets near-linear speedup
+//! without any external crates.
+//!
+//! Design:
+//!
+//! * [`parallel_map`] preserves input order in its output, so swapping
+//!   it in for `iter().map().collect()` changes nothing downstream.
+//! * Work is distributed dynamically through a shared atomic cursor
+//!   (a work queue, not static chunking), so skewed per-item costs —
+//!   brute-force points next to closed-form points — still balance.
+//! * Worker count comes from [`worker_threads`]: the `MCDNN_THREADS`
+//!   environment variable when set, else `available_parallelism`, and
+//!   never more threads than items.
+//! * Panics in workers propagate: the scope joins all threads and
+//!   re-raises, so a failing scenario cannot be silently dropped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads sweeps should use: `MCDNN_THREADS` if set
+/// to a positive integer, otherwise the machine's available
+/// parallelism, with a floor of 1.
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("MCDNN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item of `items` across [`worker_threads`] scoped
+/// threads and return the results in input order.
+///
+/// `f` is called as `f(index, &item)`; the index lets callers thread
+/// positional context (seed, scenario id) without capturing it in the
+/// item type.
+///
+/// ```
+/// let squares = mcdnn_runtime::parallel_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = worker_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Batch locally; merge once per worker to keep the lock cold.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                done.lock().expect("no worker poisoned the results").extend(local);
+            });
+        }
+    });
+    let mut indexed = done.into_inner().expect("scope joined every worker");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`parallel_map`] over an owned vector of inputs.
+pub fn parallel_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map(&items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn skewed_work_still_completes() {
+        // A few expensive items among many cheap ones exercises the
+        // dynamic queue (static chunking would serialize the tail).
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |_, &x| {
+            let rounds = if x % 16 == 0 { 200_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..rounds {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        assert_eq!(out.len(), 64);
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn results_match_serial() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let serial: Vec<f64> = items.iter().map(|x| x.sin() * x.cos()).collect();
+        let par = parallel_map(&items, |_, x| x.sin() * x.cos());
+        assert_eq!(serial, par, "bit-identical to the serial map");
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn owned_variant() {
+        let out = parallel_map_owned(vec![1u8, 2, 3], |_, &x| x as u32 + 10);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+}

@@ -16,8 +16,7 @@
 //! multiplicative jitter models runtime variance.
 
 use mcdnn_flowshop::FlowJob;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcdnn_rng::Rng;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -97,7 +96,7 @@ pub fn simulate(jobs: &[FlowJob], order: &[usize], config: &DesConfig) -> DesRes
     assert!(config.uplink_channels >= 1, "need at least one uplink channel");
     assert!(config.cloud_slots >= 1, "need at least one cloud slot");
     assert!((0.0..1.0).contains(&config.jitter_frac), "jitter in [0,1)");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut jitter = |d: f64| -> f64 {
         if config.jitter_frac == 0.0 || d == 0.0 {
             d

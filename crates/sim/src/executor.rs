@@ -1,7 +1,7 @@
 //! A real concurrent pipeline executor.
 //!
 //! Three OS threads — mobile CPU, uplink, cloud — connected by
-//! crossbeam channels, mirroring the paper's client/gRPC/server
+//! `std::sync::mpsc` channels, mirroring the paper's client/gRPC/server
 //! pipeline. Jobs genuinely flow between threads; queueing, FIFO
 //! ordering and backpressure emerge from the channels rather than from
 //! a formula.
@@ -19,12 +19,11 @@
 //! Local-only jobs (`comm_ms == 0`) complete at the mobile stage and
 //! never enter the uplink queue, matching the scheduling model.
 
+use std::sync::{mpsc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel;
 use mcdnn_flowshop::FlowJob;
-use parking_lot::Mutex;
 
 /// How stage durations are realised.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,19 +123,28 @@ pub fn run_pipeline(jobs: &[FlowJob], order: &[usize], config: &ExecutorConfig) 
             }
             Some(us) => {
                 busy_wait(Duration::from_nanos((duration * us * 1e3) as u64));
-                let epoch = start_cell.lock().expect("mobile thread sets epoch first");
+                let epoch = start_cell
+                    .lock()
+                    .expect("no stage panicked")
+                    .expect("mobile thread sets epoch first");
                 epoch.elapsed().as_secs_f64() * 1e6 / us
             }
         }
     };
 
-    let (to_uplink_tx, to_uplink_rx) = channel::unbounded::<InFlight>();
-    let (to_cloud_tx, to_cloud_rx) = channel::unbounded::<InFlight>();
+    let (to_uplink_tx, to_uplink_rx) = mpsc::channel::<InFlight>();
+    let (to_cloud_tx, to_cloud_rx) = mpsc::channel::<InFlight>();
 
+    // std Receivers are Send but not Sync, so each stage thread takes
+    // ownership of its channel ends (`move`) while sharing the clock
+    // machinery and result sink by reference.
     thread::scope(|s| {
+        let completions = &completions;
+        let start_cell = &start_cell;
+        let advance = &advance;
         // Mobile CPU: processes compute stages in schedule order.
-        s.spawn(|| {
-            *start_cell.lock() = Some(Instant::now());
+        s.spawn(move || {
+            *start_cell.lock().expect("no stage panicked") = Some(Instant::now());
             let mut clock = 0.0f64;
             for &idx in order {
                 let job = jobs[idx];
@@ -149,13 +157,16 @@ pub fn run_pipeline(jobs: &[FlowJob], order: &[usize], config: &ExecutorConfig) 
                         })
                         .expect("uplink thread alive");
                 } else {
-                    completions.lock().push((job.id, done));
+                    completions
+                        .lock()
+                        .expect("no stage panicked")
+                        .push((job.id, done));
                 }
             }
             drop(to_uplink_tx);
         });
         // Uplink: one transfer at a time, FIFO.
-        s.spawn(|| {
+        s.spawn(move || {
             let mut clock = 0.0f64;
             for msg in to_uplink_rx.iter() {
                 let done = advance(&mut clock, msg.ready_at, msg.job.comm_ms);
@@ -167,22 +178,28 @@ pub fn run_pipeline(jobs: &[FlowJob], order: &[usize], config: &ExecutorConfig) 
                         })
                         .expect("cloud thread alive");
                 } else {
-                    completions.lock().push((msg.job.id, done));
+                    completions
+                        .lock()
+                        .expect("no stage panicked")
+                        .push((msg.job.id, done));
                 }
             }
             drop(to_cloud_tx);
         });
         // Cloud: executes the remainder.
-        s.spawn(|| {
+        s.spawn(move || {
             let mut clock = 0.0f64;
             for msg in to_cloud_rx.iter() {
                 let done = advance(&mut clock, msg.ready_at, msg.job.cloud_ms);
-                completions.lock().push((msg.job.id, done));
+                completions
+                    .lock()
+                    .expect("no stage panicked")
+                    .push((msg.job.id, done));
             }
         });
     });
 
-    let mut completions = completions.into_inner();
+    let mut completions = completions.into_inner().expect("scope joined every stage");
     completions.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     let makespan_ms = completions.last().map_or(0.0, |c| c.1);
     ExecTrace {

@@ -13,7 +13,7 @@
 //!   channel and one slot it reproduces the flow-shop recurrence
 //!   exactly — which is tested, not assumed.
 //! * [`executor`] — a real concurrent executor: one OS thread per
-//!   pipeline stage connected by crossbeam channels, burning precise
+//!   pipeline stage connected by `std::sync::mpsc` channels, burning precise
 //!   busy-wait time per stage in scaled-down virtual milliseconds. This
 //!   exercises the actual systems behaviour (queueing, backpressure,
 //!   stage exclusivity) the analytic model abstracts.

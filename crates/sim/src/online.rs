@@ -18,8 +18,7 @@ use mcdnn_graph::LineDnn;
 use mcdnn_partition::{jps_best_mix_plan, Plan};
 use mcdnn_profile::measure::{fit_comm_model, measure_uploads};
 use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, NetworkModel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcdnn_rng::Rng;
 
 /// True uplink bandwidth as a function of the burst index.
 #[derive(Debug, Clone)]
@@ -68,7 +67,7 @@ impl BandwidthTrace {
                 switch_prob,
                 seed,
             } => {
-                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut rng = Rng::seed_from_u64(*seed);
                 let mut in_good = true;
                 (0..bursts)
                     .map(|_| {
@@ -141,7 +140,7 @@ pub fn run_online(
     let mut burst_makespans_ms = Vec::with_capacity(bursts);
     let mut believed_mbps = Vec::with_capacity(bursts);
     let mut est_rng = match policy {
-        ReplanPolicy::Estimated { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+        ReplanPolicy::Estimated { seed, .. } => Some(Rng::seed_from_u64(seed)),
         _ => None,
     };
 

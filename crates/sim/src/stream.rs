@@ -19,8 +19,7 @@
 //! the lowest per-frame latency — the streaming analogue of JPS.
 
 use mcdnn_profile::CostProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcdnn_rng::Rng;
 
 /// Streaming workload description.
 #[derive(Debug, Clone, Copy)]
@@ -73,7 +72,7 @@ pub fn simulate_stream(f_ms: f64, g_ms: f64, config: &StreamConfig) -> StreamSta
     assert!(f_ms >= 0.0 && g_ms >= 0.0, "stage times must be >= 0");
     assert!(config.period_ms > 0.0, "period must be positive");
     assert!(config.frames > config.warmup, "need frames beyond warm-up");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut arrival = 0.0f64;
     let mut cpu_free = 0.0f64;
     let mut link_free = 0.0f64;

@@ -11,12 +11,11 @@
 
 use mcdnn::prelude::*;
 use mcdnn_profile::measure::{fit_comm_model, measure_uploads};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mcdnn_rng::Rng;
 
 fn main() {
     let frames = 12; // one burst of AR frames
-    let mut rng = StdRng::seed_from_u64(2021);
+    let mut rng = Rng::seed_from_u64(2021);
 
     println!("AR glasses: {frames} MobileNet-v2 frames per burst; drifting Wi-Fi\n");
     println!("| true Mbps | estimated w0 (ms) | estimated Mbps | chosen cut(s) | makespan (ms) |");

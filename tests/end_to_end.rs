@@ -140,10 +140,9 @@ fn lookup_table_reproduces_profile_f() {
     // The paper's scheduler reads f from a pre-built lookup table; a
     // table built from noiseless measurement matches the profile.
     use mcdnn_profile::{measure::measure_f, DeviceModel, LookupTable};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mcdnn_rng::Rng;
 
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Rng::seed_from_u64(9);
     let line = Model::AlexNet.line().unwrap();
     let device = DeviceModel::raspberry_pi4();
     let runs: Vec<Vec<f64>> = (0..50)

@@ -1,0 +1,133 @@
+//! Properties of the O(1) planner kernels and the refactored planners.
+//!
+//! Two contracts are enforced over randomized instances:
+//!
+//! 1. **Kernel exactness** — the closed-form block kernels
+//!    (`uniform_makespan`, `two_type_mix_makespan`,
+//!    `johnson_blocks_makespan`) equal the simulated flow-shop
+//!    recurrence in Johnson order to 1e-9 for arbitrary stage times
+//!    and batch sizes up to 200.
+//! 2. **Planner equivalence** — the kernel-scoring planners return
+//!    plans bit-identical (`==` on the whole `Plan`: cuts, order and
+//!    makespan) to the pre-refactor reference implementations in
+//!    [`mcdnn_partition::reference`].
+
+use mcdnn::prelude::{johnson_order, makespan, CostProfile, FlowJob};
+use mcdnn_flowshop::kernels::{
+    johnson_blocks_makespan, two_type_mix_makespan, uniform_makespan,
+};
+use mcdnn_partition::{jps_best_mix_plan, jps_plan, reference};
+use mcdnn_rng::Rng;
+
+/// Random monotone profile (f up from 0, g down to 0) like clustering
+/// produces.
+fn random_monotone_profile(rng: &mut Rng, max_k: usize) -> CostProfile {
+    let k = rng.gen_range(1..=max_k);
+    let mut f = vec![0.0];
+    for _ in 0..k {
+        f.push(f.last().unwrap() + rng.gen_range(0.01..20.0));
+    }
+    let mut g = vec![0.0; k + 1];
+    for i in (0..k).rev() {
+        g[i] = g[i + 1] + rng.gen_range(0.01..20.0);
+    }
+    CostProfile::from_vectors("prop", f, g, None)
+}
+
+#[test]
+fn uniform_kernel_matches_recurrence_on_random_profiles() {
+    let mut rng = Rng::seed_from_u64(0x70);
+    for _ in 0..200 {
+        let n = rng.gen_range(1..=200usize);
+        let f = rng.gen_range(0.0..40.0);
+        // Mix in g = 0 (local-only blocks skip machine 2 entirely).
+        let g = if rng.gen_bool(0.1) {
+            0.0
+        } else {
+            rng.gen_range(0.0..40.0)
+        };
+        let jobs: Vec<FlowJob> = (0..n).map(|i| FlowJob::two_stage(i, f, g)).collect();
+        let simulated = makespan(&jobs, &johnson_order(&jobs));
+        let kernel = uniform_makespan(n, f, g);
+        assert!(
+            (kernel - simulated).abs() < 1e-9,
+            "n={n} f={f} g={g}: kernel {kernel} vs simulated {simulated}"
+        );
+    }
+}
+
+#[test]
+fn mix_kernel_matches_recurrence_on_random_profiles() {
+    let mut rng = Rng::seed_from_u64(0x71);
+    for _ in 0..200 {
+        let a = rng.gen_range(0..=200usize);
+        let b = rng.gen_range(0..=200usize);
+        let (f1, g1) = (rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0));
+        let (f2, g2) = (rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0));
+        // Block 1 must hold the lower job ids (the kernel's tie-break
+        // convention, matching how planners lay out cut vectors).
+        let mut jobs = Vec::with_capacity(a + b);
+        for i in 0..a {
+            jobs.push(FlowJob::two_stage(i, f1, g1));
+        }
+        for i in 0..b {
+            jobs.push(FlowJob::two_stage(a + i, f2, g2));
+        }
+        let simulated = makespan(&jobs, &johnson_order(&jobs));
+        let kernel = two_type_mix_makespan(a, f1, g1, b, f2, g2);
+        assert!(
+            (kernel - simulated).abs() < 1e-9,
+            "a={a} ({f1},{g1}) b={b} ({f2},{g2}): kernel {kernel} vs simulated {simulated}"
+        );
+    }
+}
+
+#[test]
+fn blocks_kernel_matches_recurrence_on_random_multisets() {
+    let mut rng = Rng::seed_from_u64(0x72);
+    for _ in 0..100 {
+        let types = rng.gen_range(1..=6usize);
+        let mut blocks = Vec::with_capacity(types);
+        let mut jobs = Vec::new();
+        for _ in 0..types {
+            let count = rng.gen_range(0..=40usize);
+            let (f, g) = (rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0));
+            for _ in 0..count {
+                jobs.push(FlowJob::two_stage(jobs.len(), f, g));
+            }
+            blocks.push((count, f, g));
+        }
+        let simulated = makespan(&jobs, &johnson_order(&jobs));
+        let kernel = johnson_blocks_makespan(&blocks);
+        assert!(
+            (kernel - simulated).abs() < 1e-9,
+            "blocks {blocks:?}: kernel {kernel} vs simulated {simulated}"
+        );
+    }
+}
+
+#[test]
+fn jps_plan_bit_identical_to_reference() {
+    let mut rng = Rng::seed_from_u64(0x73);
+    for _ in 0..64 {
+        let profile = random_monotone_profile(&mut rng, 20);
+        for n in [0usize, 1, 2, 3, rng.gen_range(4..=200usize)] {
+            let fast = jps_plan(&profile, n);
+            let slow = reference::jps_plan(&profile, n);
+            assert_eq!(fast, slow, "jps_plan diverged at n={n}");
+        }
+    }
+}
+
+#[test]
+fn jps_best_mix_plan_bit_identical_to_reference() {
+    let mut rng = Rng::seed_from_u64(0x74);
+    for _ in 0..48 {
+        let profile = random_monotone_profile(&mut rng, 16);
+        for n in [0usize, 1, 2, 3, rng.gen_range(4..=120usize)] {
+            let fast = jps_best_mix_plan(&profile, n);
+            let slow = reference::jps_best_mix_plan(&profile, n);
+            assert_eq!(fast, slow, "jps_best_mix_plan diverged at n={n}");
+        }
+    }
+}

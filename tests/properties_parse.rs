@@ -1,62 +1,88 @@
 //! Fuzz-style robustness for the `.dnn` parser: arbitrary garbage must
 //! produce a structured error (never a panic), and structurally valid
 //! random programs must round-trip into graphs whose invariants hold.
-
-use proptest::prelude::*;
+//!
+//! Inputs are generated with the in-workspace [`mcdnn_rng`] generator
+//! under fixed seeds — reproducible fuzzing, no external harness.
 
 use mcdnn_graph::parse_model;
+use mcdnn_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random string of up to `max_len` chars drawn from the full
+/// Unicode scalar range (invalid code points re-rolled).
+fn random_text(rng: &mut Rng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| loop {
+            if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                return c;
+            }
+        })
+        .collect()
+}
 
-    #[test]
-    fn arbitrary_text_never_panics(text in ".{0,400}") {
+#[test]
+fn arbitrary_text_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x50);
+    for _ in 0..256 {
         // Any result is fine; a panic would fail the test harness.
+        let _ = parse_model("fuzz", &random_text(&mut rng, 400));
+    }
+}
+
+#[test]
+fn line_noise_with_plausible_tokens_never_panics() {
+    const TOKENS: [&str; 18] = [
+        "input", "conv", "relu", "dense", "maxpool", "concat", "add", "(", ")", ":", "<-", ",",
+        "=", "3", "k", "x1", "#", "\n",
+    ];
+    let mut rng = Rng::seed_from_u64(0x51);
+    for _ in 0..256 {
+        let count = rng.gen_range(0..120usize);
+        let text: String = (0..count)
+            .flat_map(|i| {
+                let tok = TOKENS[rng.gen_range(0..TOKENS.len())];
+                // Interleave spaces like the original token soup.
+                [tok, if i % 3 == 0 { " " } else { "" }]
+            })
+            .collect();
         let _ = parse_model("fuzz", &text);
     }
+}
 
-    #[test]
-    fn line_noise_with_plausible_tokens_never_panics(
-        tokens in prop::collection::vec(
-            prop::sample::select(vec![
-                "input", "conv", "relu", "dense", "maxpool", "concat", "add",
-                "(", ")", ":", "<-", ",", "=", "3", "k", "x1", "#", "\n", " ",
-            ]),
-            0..120,
-        )
-    ) {
-        let text: String = tokens.concat();
-        let _ = parse_model("fuzz", &text);
-    }
-
-    #[test]
-    fn random_valid_chains_parse_and_validate(
-        convs in prop::collection::vec((1usize..24, prop::bool::ANY), 1..8),
-    ) {
+#[test]
+fn random_valid_chains_parse_and_validate() {
+    let mut rng = Rng::seed_from_u64(0x52);
+    for _ in 0..256 {
         // Generate a syntactically valid chain program.
+        let blocks = rng.gen_range(1..8usize);
         let mut text = String::from("in: input(3, 64, 64)\n");
-        for (i, (ch, pool)) in convs.iter().enumerate() {
+        for i in 0..blocks {
+            let ch = rng.gen_range(1..24usize);
             text.push_str(&format!("c{i}: conv({ch}, k=3, p=1)\n"));
             text.push_str(&format!("r{i}: relu\n"));
-            if *pool && i < 3 {
+            if rng.gen_bool(0.5) && i < 3 {
                 text.push_str(&format!("p{i}: maxpool(k=2, s=2)\n"));
             }
         }
         text.push_str("out: dense(10)\n");
         let g = parse_model("gen", &text).expect("generated program is valid");
-        prop_assert!(g.is_line_structure());
-        prop_assert!(g.total_flops() > 0);
+        assert!(g.is_line_structure());
+        assert!(g.total_flops() > 0);
         // Edges respect topological numbering.
         for (u, v) in g.edges() {
-            prop_assert!(u < v);
+            assert!(u < v);
         }
     }
+}
 
-    #[test]
-    fn random_branchy_programs_parse(
-        widths in prop::collection::vec(2usize..5, 1..4),
-    ) {
+#[test]
+fn random_branchy_programs_parse() {
+    let mut rng = Rng::seed_from_u64(0x53);
+    for _ in 0..64 {
         // input -> fan-out -> concat, repeated; always valid.
+        let stages = rng.gen_range(1..4usize);
+        let widths: Vec<usize> = (0..stages).map(|_| rng.gen_range(2..5usize)).collect();
         let mut text = String::from("in: input(8, 16, 16)\n");
         let mut prev = "in".to_string();
         for (b, &w) in widths.iter().enumerate() {
@@ -71,10 +97,10 @@ proptest! {
             prev = cat;
         }
         let g = parse_model("branchy", &text).expect("valid branchy program");
-        prop_assert!(!g.is_line_structure());
+        assert!(!g.is_line_structure());
         // Articulation chain includes every concat.
         let chain = mcdnn_graph::articulation_chain(&g);
-        prop_assert!(chain.len() > widths.len());
+        assert!(chain.len() > widths.len());
     }
 }
 

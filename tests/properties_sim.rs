@@ -1,193 +1,230 @@
 //! Property tests over the simulators and randomly generated DNN DAGs:
 //! DES/executor/recurrence agreement, resource-scaling monotonicity,
 //! builder invariants on random graphs, and cluster/collapse algebra.
-
-use proptest::prelude::*;
+//!
+//! Instances come from the in-workspace [`mcdnn_rng`] generator under
+//! fixed seeds — reproducible, no external property-testing harness.
 
 use mcdnn_flowshop::{makespan, makespan_three_stage, FlowJob};
 use mcdnn_graph::{
     cluster_virtual_blocks, collapse_to_line, Activation, DnnGraph, GraphBuilder, LayerKind,
     LineDnn, LineLayer, TensorShape,
 };
+use mcdnn_rng::Rng;
 use mcdnn_sim::{run_pipeline, simulate, DesConfig, ExecutorConfig};
 
-fn three_stage_jobs(max_n: usize) -> impl Strategy<Value = Vec<FlowJob>> {
-    prop::collection::vec((0.0f64..30.0, 0.0f64..30.0, 0.0f64..10.0), 1..=max_n).prop_map(
-        |spec| {
-            spec.into_iter()
-                .enumerate()
-                .map(|(i, (f, g, c))| FlowJob::three_stage(i, f, g, c))
-                .collect()
-        },
-    )
+fn random_three_stage_jobs(rng: &mut Rng, max_n: usize) -> Vec<FlowJob> {
+    let n = rng.gen_range(1..=max_n);
+    (0..n)
+        .map(|i| {
+            FlowJob::three_stage(
+                i,
+                rng.gen_range(0.0..30.0),
+                rng.gen_range(0.0..30.0),
+                rng.gen_range(0.0..10.0),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn des_equals_three_stage_recurrence(jobs in three_stage_jobs(12)) {
+#[test]
+fn des_equals_three_stage_recurrence() {
+    let mut rng = Rng::seed_from_u64(0x60);
+    for _ in 0..48 {
+        let jobs = random_three_stage_jobs(&mut rng, 12);
         let order: Vec<usize> = (0..jobs.len()).collect();
         let des = simulate(&jobs, &order, &DesConfig::default());
         let rec = makespan_three_stage(&jobs, &order);
-        prop_assert!((des.makespan_ms - rec).abs() < 1e-9,
-            "DES {} vs recurrence {rec}", des.makespan_ms);
+        assert!(
+            (des.makespan_ms - rec).abs() < 1e-9,
+            "DES {} vs recurrence {rec}",
+            des.makespan_ms
+        );
     }
+}
 
-    #[test]
-    fn threaded_executor_equals_des(jobs in three_stage_jobs(10)) {
+#[test]
+fn threaded_executor_equals_des() {
+    let mut rng = Rng::seed_from_u64(0x61);
+    // Fewer cases than the pure-arithmetic suites: each case spins up
+    // real OS threads.
+    for _ in 0..16 {
+        let jobs = random_three_stage_jobs(&mut rng, 10);
         let order: Vec<usize> = (0..jobs.len()).collect();
         let des = simulate(&jobs, &order, &DesConfig::default());
         let exec = run_pipeline(&jobs, &order, &ExecutorConfig::default());
-        prop_assert!((des.makespan_ms - exec.makespan_ms).abs() < 1e-9);
-        prop_assert_eq!(exec.completions.len(), jobs.len());
+        assert!((des.makespan_ms - exec.makespan_ms).abs() < 1e-9);
+        assert_eq!(exec.completions.len(), jobs.len());
     }
+}
 
-    #[test]
-    fn more_uplink_channels_never_slower(jobs in three_stage_jobs(10)) {
+#[test]
+fn more_uplink_channels_never_slower() {
+    let mut rng = Rng::seed_from_u64(0x62);
+    for _ in 0..48 {
+        let jobs = random_three_stage_jobs(&mut rng, 10);
         let order: Vec<usize> = (0..jobs.len()).collect();
         let mut prev = f64::INFINITY;
         for channels in 1..=3 {
             let span = simulate(
                 &jobs,
                 &order,
-                &DesConfig { uplink_channels: channels, ..DesConfig::default() },
+                &DesConfig {
+                    uplink_channels: channels,
+                    ..DesConfig::default()
+                },
             )
             .makespan_ms;
-            prop_assert!(span <= prev + 1e-9, "channels {channels}: {span} > {prev}");
+            assert!(span <= prev + 1e-9, "channels {channels}: {span} > {prev}");
             prev = span;
         }
     }
+}
 
-    #[test]
-    fn more_cloud_slots_never_slower(jobs in three_stage_jobs(10)) {
+#[test]
+fn more_cloud_slots_never_slower() {
+    let mut rng = Rng::seed_from_u64(0x63);
+    for _ in 0..48 {
+        let jobs = random_three_stage_jobs(&mut rng, 10);
         let order: Vec<usize> = (0..jobs.len()).collect();
         let one = simulate(
             &jobs,
             &order,
-            &DesConfig { cloud_slots: 1, ..DesConfig::default() },
+            &DesConfig {
+                cloud_slots: 1,
+                ..DesConfig::default()
+            },
         )
         .makespan_ms;
         let many = simulate(
             &jobs,
             &order,
-            &DesConfig { cloud_slots: 8, ..DesConfig::default() },
+            &DesConfig {
+                cloud_slots: 8,
+                ..DesConfig::default()
+            },
         )
         .makespan_ms;
-        prop_assert!(many <= one + 1e-9);
+        assert!(many <= one + 1e-9);
     }
+}
 
-    #[test]
-    fn longer_stages_never_shorten_makespan(
-        jobs in three_stage_jobs(8),
-        grow_idx in 0usize..8,
-        delta in 0.0f64..20.0,
-    ) {
+#[test]
+fn longer_stages_never_shorten_makespan() {
+    let mut rng = Rng::seed_from_u64(0x64);
+    for _ in 0..48 {
+        let jobs = random_three_stage_jobs(&mut rng, 8);
+        let grow_idx = rng.gen_range(0..8usize);
+        let delta = rng.gen_range(0.0..20.0);
         let order: Vec<usize> = (0..jobs.len()).collect();
         let base = makespan(&jobs, &order);
         let mut grown = jobs.clone();
         let i = grow_idx % grown.len();
         grown[i].compute_ms += delta;
-        prop_assert!(makespan(&grown, &order) >= base - 1e-9);
+        assert!(makespan(&grown, &order) >= base - 1e-9);
         let mut grown2 = jobs.clone();
         grown2[i].comm_ms += delta;
-        prop_assert!(makespan(&grown2, &order) >= base - 1e-9);
+        assert!(makespan(&grown2, &order) >= base - 1e-9);
     }
 }
 
-/// Strategy: a random line CNN as layer specs, then built via the
-/// graph builder.
-fn random_line_graph() -> impl Strategy<Value = DnnGraph> {
-    // (out_channels, kernel in {1,3}, with_pool) per block; input 3×32×32.
-    prop::collection::vec((1usize..32, prop::bool::ANY, prop::bool::ANY), 1..6).prop_map(
-        |blocks| {
-            let mut b = DnnGraph::builder("random_line");
-            let mut prev = b.input(TensorShape::chw(3, 32, 32));
-            let mut size = 32usize;
-            for (ch, k3, pool) in blocks {
-                let kernel = if k3 { 3 } else { 1 };
-                let padding = if k3 { 1 } else { 0 };
-                prev = b.chain(
-                    prev,
-                    [
-                        LayerKind::Conv2d {
-                            out_channels: ch,
-                            kernel,
-                            stride: 1,
-                            padding,
-                            groups: 1,
-                            bias: true,
-                        },
-                        LayerKind::Act(Activation::ReLU),
-                    ],
-                );
-                if pool && size >= 4 {
-                    prev = b.layer_after(prev, LayerKind::maxpool(2, 2));
-                    size /= 2;
-                }
-            }
-            b.layer_after(prev, LayerKind::dense(10));
-            b.build().expect("random line CNN is valid")
-        },
-    )
+/// A random line CNN as layer specs, built via the graph builder:
+/// (out_channels, kernel ∈ {1,3}, with_pool) per block; input 3×32×32.
+fn random_line_graph(rng: &mut Rng) -> DnnGraph {
+    let blocks = rng.gen_range(1..6usize);
+    let mut b = DnnGraph::builder("random_line");
+    let mut prev = b.input(TensorShape::chw(3, 32, 32));
+    let mut size = 32usize;
+    for _ in 0..blocks {
+        let ch = rng.gen_range(1..32usize);
+        let k3 = rng.gen_bool(0.5);
+        let kernel = if k3 { 3 } else { 1 };
+        let padding = if k3 { 1 } else { 0 };
+        prev = b.chain(
+            prev,
+            [
+                LayerKind::Conv2d {
+                    out_channels: ch,
+                    kernel,
+                    stride: 1,
+                    padding,
+                    groups: 1,
+                    bias: true,
+                },
+                LayerKind::Act(Activation::ReLU),
+            ],
+        );
+        if rng.gen_bool(0.5) && size >= 4 {
+            prev = b.layer_after(prev, LayerKind::maxpool(2, 2));
+            size /= 2;
+        }
+    }
+    b.layer_after(prev, LayerKind::dense(10));
+    b.build().expect("random line CNN is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn random_line_graphs_obey_invariants(g in random_line_graph()) {
-        prop_assert!(g.is_line_structure());
+#[test]
+fn random_line_graphs_obey_invariants() {
+    let mut rng = Rng::seed_from_u64(0x65);
+    for _ in 0..32 {
+        let g = random_line_graph(&mut rng);
+        assert!(g.is_line_structure());
         for (u, v) in g.edges() {
-            prop_assert!(u < v, "topological order violated");
+            assert!(u < v, "topological order violated");
         }
         // Line extraction + collapse agree.
         let direct = LineDnn::from_graph(&g).unwrap();
         let collapsed = collapse_to_line(&g).unwrap();
-        prop_assert_eq!(direct.total_flops(), collapsed.total_flops());
-        prop_assert_eq!(direct.k(), collapsed.k());
+        assert_eq!(direct.total_flops(), collapsed.total_flops());
+        assert_eq!(direct.k(), collapsed.k());
         // FLOPs conservation at every cut.
         for cut in 0..=direct.k() {
-            prop_assert_eq!(
+            assert_eq!(
                 direct.mobile_flops(cut) + direct.cloud_flops(cut),
                 direct.total_flops()
             );
         }
     }
+}
 
-    #[test]
-    fn clustering_is_idempotent_and_conservative(g in random_line_graph()) {
+#[test]
+fn clustering_is_idempotent_and_conservative() {
+    let mut rng = Rng::seed_from_u64(0x66);
+    for _ in 0..32 {
+        let g = random_line_graph(&mut rng);
         let line = LineDnn::from_graph(&g).unwrap();
         let (once, _) = cluster_virtual_blocks(&line);
         let (twice, blocks) = cluster_virtual_blocks(&once);
-        prop_assert_eq!(once.k(), twice.k(), "clustering must be idempotent");
-        prop_assert!(blocks.iter().all(|b| b.is_trivial()));
-        prop_assert_eq!(once.total_flops(), line.total_flops());
-        prop_assert!(mcdnn_graph::cluster::is_strictly_decreasing_volume(&once));
+        assert_eq!(once.k(), twice.k(), "clustering must be idempotent");
+        assert!(blocks.iter().all(|b| b.is_trivial()));
+        assert_eq!(once.total_flops(), line.total_flops());
+        assert!(mcdnn_graph::cluster::is_strictly_decreasing_volume(&once));
         // Surviving cuts are a subset of the original cut positions'
         // volumes (clustering never invents new offload sizes).
         for l in 1..once.k() {
             let v = once.offload_bytes(l);
-            prop_assert!(
+            assert!(
                 (1..=line.k()).any(|o| line.offload_bytes(o) == v),
                 "volume {v} not present in original"
             );
         }
     }
+}
 
-    #[test]
-    fn weighted_extraction_scales_monotonically(
-        g in random_line_graph(),
-        w in 1.0f64..8.0,
-    ) {
+#[test]
+fn weighted_extraction_scales_monotonically() {
+    let mut rng = Rng::seed_from_u64(0x67);
+    for _ in 0..32 {
+        let g = random_line_graph(&mut rng);
+        let w = rng.gen_range(1.0..8.0);
         let base = LineDnn::from_graph(&g).unwrap();
         let heavy = LineDnn::from_graph_weighted(&g, |_| w).unwrap();
         // Uniform weight scales total FLOPs by ~w (rounding per layer).
         let ratio = heavy.total_flops() as f64 / base.total_flops() as f64;
-        prop_assert!((ratio - w).abs() < 0.05 * w + 0.05, "ratio {ratio} vs {w}");
+        assert!((ratio - w).abs() < 0.05 * w + 0.05, "ratio {ratio} vs {w}");
         // Volumes untouched.
         for l in 0..=base.k() {
-            prop_assert_eq!(base.offload_bytes(l), heavy.offload_bytes(l));
+            assert_eq!(base.offload_bytes(l), heavy.offload_bytes(l));
         }
     }
 }

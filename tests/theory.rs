@@ -2,83 +2,76 @@
 //! randomized instances: Johnson optimality, the Proposition 4.1
 //! closed form, Algorithm 2's invariants, Theorem 5.2's continuous
 //! common-cut optimality and Theorem 5.3's two-type sufficiency.
+//!
+//! Randomization is hand-rolled on the in-workspace [`mcdnn_rng`]
+//! generator (fixed seeds, so every run exercises the same instances)
+//! instead of an external property-testing harness.
 
-use proptest::prelude::*;
-
-// Note: `mcdnn::prelude::*` is deliberately not glob-imported here —
-// its `Strategy` enum collides with proptest's `Strategy` trait.
-use mcdnn::prelude::{johnson_order, makespan, CostProfile, FlowJob};
-use mcdnn_flowshop::{
-    best_permutation, makespan_closed_form, two_stage_lower_bound,
-};
+use mcdnn::prelude::{johnson_order, makespan, CostProfile, FlowJob, Strategy};
+use mcdnn_flowshop::{best_permutation, makespan_closed_form, two_stage_lower_bound};
 use mcdnn_partition::{
-    balanced_cut_continuous, binary_search_cut, brute_force_plan, jps_best_mix_plan,
+    balanced_cut_continuous, binary_search_cut, brute_force_plan,
     continuous::{interp, kkt_residual, relaxed_objective},
-    theorem53_condition, Plan, Strategy as PlanStrategy,
+    jps_best_mix_plan, theorem53_condition, Plan,
 };
+use mcdnn_rng::Rng;
 
 /// Random small job set for flow-shop properties.
-fn job_set(max_n: usize) -> impl Strategy<Value = Vec<FlowJob>> {
-    prop::collection::vec((0.0f64..50.0, 0.0f64..50.0), 1..=max_n).prop_map(|spec| {
-        spec.into_iter()
-            .enumerate()
-            .map(|(i, (f, g))| FlowJob::two_stage(i, f, g))
-            .collect()
-    })
+fn random_jobs(rng: &mut Rng, max_n: usize) -> Vec<FlowJob> {
+    let n = rng.gen_range(1..=max_n);
+    (0..n)
+        .map(|i| FlowJob::two_stage(i, rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)))
+        .collect()
 }
 
 /// Random monotone profile: f non-decreasing from 0, g non-increasing
 /// to 0, as clustering guarantees.
-fn monotone_profile(max_k: usize) -> impl Strategy<Value = CostProfile> {
-    (
-        prop::collection::vec(0.01f64..20.0, 1..=max_k),
-        prop::collection::vec(0.01f64..20.0, 1..=max_k),
-    )
-        .prop_map(|(df, dg)| {
-            let k = df.len().min(dg.len());
-            let mut f = vec![0.0];
-            for d in df.iter().take(k) {
-                f.push(f.last().unwrap() + d);
-            }
-            let mut g = vec![0.0; k + 1];
-            for i in (0..k).rev() {
-                g[i] = g[i + 1] + dg[i];
-            }
-            CostProfile::from_vectors("prop", f, g, None)
-        })
+fn random_monotone_profile(rng: &mut Rng, max_k: usize) -> CostProfile {
+    let k = rng.gen_range(1..=max_k);
+    let mut f = vec![0.0];
+    for _ in 0..k {
+        f.push(f.last().unwrap() + rng.gen_range(0.01..20.0));
+    }
+    let mut g = vec![0.0; k + 1];
+    for i in (0..k).rev() {
+        g[i] = g[i + 1] + rng.gen_range(0.01..20.0);
+    }
+    CostProfile::from_vectors("prop", f, g, None)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn johnson_is_optimal_among_permutations(jobs in job_set(7)) {
+#[test]
+fn johnson_is_optimal_among_permutations() {
+    let mut rng = Rng::seed_from_u64(0x41);
+    for _ in 0..64 {
+        let jobs = random_jobs(&mut rng, 7);
         let johnson = makespan(&jobs, &johnson_order(&jobs));
         let bf = best_permutation(&jobs);
-        prop_assert!((johnson - bf.makespan).abs() < 1e-9,
-            "Johnson {johnson} vs exhaustive {}", bf.makespan);
+        assert!(
+            (johnson - bf.makespan).abs() < 1e-9,
+            "Johnson {johnson} vs exhaustive {}",
+            bf.makespan
+        );
     }
+}
 
-    #[test]
-    fn johnson_beats_random_orders(jobs in job_set(12), seed in 0u64..1000) {
+#[test]
+fn johnson_beats_random_orders() {
+    let mut rng = Rng::seed_from_u64(0x42);
+    for _ in 0..64 {
+        let jobs = random_jobs(&mut rng, 12);
         let johnson = makespan(&jobs, &johnson_order(&jobs));
-        // Cheap deterministic shuffle from the seed.
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
-        for i in (1..order.len()).rev() {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            order.swap(i, (state % (i as u64 + 1)) as usize);
-        }
-        prop_assert!(johnson <= makespan(&jobs, &order) + 1e-9);
+        let order = rng.permutation(jobs.len());
+        assert!(johnson <= makespan(&jobs, &order) + 1e-9);
     }
+}
 
-    #[test]
-    fn closed_form_lower_bounds_recurrence(jobs in job_set(12)) {
-        // Proposition 4.1 keeps only the first/last critical-path terms
-        // of the F2 makespan, so it can never exceed the recurrence.
-        let jobs: Vec<FlowJob> = jobs
+#[test]
+fn closed_form_lower_bounds_recurrence() {
+    // Proposition 4.1 keeps only the first/last critical-path terms
+    // of the F2 makespan, so it can never exceed the recurrence.
+    let mut rng = Rng::seed_from_u64(0x43);
+    for _ in 0..64 {
+        let jobs: Vec<FlowJob> = random_jobs(&mut rng, 12)
             .into_iter()
             .map(|mut j| {
                 j.compute_ms += 0.001;
@@ -89,20 +82,22 @@ proptest! {
         let order = johnson_order(&jobs);
         let rec = makespan(&jobs, &order);
         let cf = makespan_closed_form(&jobs, &order).unwrap();
-        prop_assert!(cf <= rec + 1e-9, "closed form {cf} exceeds recurrence {rec}");
+        assert!(cf <= rec + 1e-9, "closed form {cf} exceeds recurrence {rec}");
     }
+}
 
-    #[test]
-    fn closed_form_exact_for_balanced_two_type_mixes(
-        base in 1.0f64..40.0,
-        delta in 0.0f64..0.5,
-        na in 1usize..6,
-        nb in 1usize..6,
-    ) {
-        // The paper's actual regime: two adjacent cut types around the
-        // balanced crossing — type A = (base−δ, base+δ) comm-heavy,
-        // type B = (base+δ, base−δ) comp-heavy. Here the critical job
-        // is at an end of the Johnson order and Prop. 4.1 is exact.
+#[test]
+fn closed_form_exact_for_balanced_two_type_mixes() {
+    // The paper's actual regime: two adjacent cut types around the
+    // balanced crossing — type A = (base−δ, base+δ) comm-heavy,
+    // type B = (base+δ, base−δ) comp-heavy. Here the critical job
+    // is at an end of the Johnson order and Prop. 4.1 is exact.
+    let mut rng = Rng::seed_from_u64(0x44);
+    for _ in 0..64 {
+        let base = rng.gen_range(1.0..40.0);
+        let delta = rng.gen_range(0.0..0.5);
+        let na = rng.gen_range(1..6usize);
+        let nb = rng.gen_range(1..6usize);
         let mut jobs = Vec::new();
         for i in 0..na {
             jobs.push(FlowJob::two_stage(i, base - delta, base + delta));
@@ -113,73 +108,106 @@ proptest! {
         let order = johnson_order(&jobs);
         let rec = makespan(&jobs, &order);
         let cf = makespan_closed_form(&jobs, &order).unwrap();
-        prop_assert!((rec - cf).abs() < 1e-9, "recurrence {rec} vs closed {cf}");
+        assert!((rec - cf).abs() < 1e-9, "recurrence {rec} vs closed {cf}");
     }
+}
 
-    #[test]
-    fn lower_bound_is_sound(jobs in job_set(8)) {
+#[test]
+fn lower_bound_is_sound() {
+    let mut rng = Rng::seed_from_u64(0x45);
+    for _ in 0..64 {
+        let jobs = random_jobs(&mut rng, 8);
         let opt = best_permutation(&jobs).makespan;
-        prop_assert!(two_stage_lower_bound(&jobs) <= opt + 1e-9);
+        assert!(two_stage_lower_bound(&jobs) <= opt + 1e-9);
     }
+}
 
-    #[test]
-    fn alg2_equals_linear_scan(profile in monotone_profile(24)) {
-        prop_assert_eq!(binary_search_cut(&profile).l_star, profile.l_star_linear());
+#[test]
+fn alg2_equals_linear_scan() {
+    let mut rng = Rng::seed_from_u64(0x46);
+    for _ in 0..64 {
+        let profile = random_monotone_profile(&mut rng, 24);
+        assert_eq!(binary_search_cut(&profile).l_star, profile.l_star_linear());
     }
+}
 
-    #[test]
-    fn alg2_invariants(profile in monotone_profile(24)) {
+#[test]
+fn alg2_invariants() {
+    let mut rng = Rng::seed_from_u64(0x47);
+    for _ in 0..64 {
+        let profile = random_monotone_profile(&mut rng, 24);
         let s = binary_search_cut(&profile);
-        prop_assert!(profile.f(s.l_star) >= profile.g(s.l_star));
+        assert!(profile.f(s.l_star) >= profile.g(s.l_star));
         if let Some(prev) = s.l_prev {
-            prop_assert!(profile.f(prev) < profile.g(prev),
-                "l* must be the LEFT-most crossing");
+            assert!(
+                profile.f(prev) < profile.g(prev),
+                "l* must be the LEFT-most crossing"
+            );
         }
     }
+}
 
-    #[test]
-    fn continuous_balanced_cut_is_argmin(profile in monotone_profile(16)) {
-        // Theorem 5.2: the common continuous cut x* with f = g minimises
-        // max(f, g) over all common cuts.
+#[test]
+fn continuous_balanced_cut_is_argmin() {
+    // Theorem 5.2: the common continuous cut x* with f = g minimises
+    // max(f, g) over all common cuts.
+    let mut rng = Rng::seed_from_u64(0x48);
+    for _ in 0..64 {
+        let profile = random_monotone_profile(&mut rng, 16);
         let x_star = balanced_cut_continuous(&profile);
-        prop_assert!(kkt_residual(&profile, x_star) < 1e-6);
+        assert!(kkt_residual(&profile, x_star) < 1e-6);
         let best = relaxed_objective(&profile, x_star);
         let k = profile.k() as f64;
         for i in 0..=64 {
             let x = k * i as f64 / 64.0;
-            prop_assert!(relaxed_objective(&profile, x) >= best - 1e-6);
+            assert!(relaxed_objective(&profile, x) >= best - 1e-6);
         }
     }
+}
 
-    #[test]
-    fn interp_brackets_values(profile in monotone_profile(16), t in 0.0f64..1.0) {
-        // Piecewise-linear interpolation stays within segment bounds.
+#[test]
+fn interp_brackets_values() {
+    // Piecewise-linear interpolation stays within segment bounds.
+    let mut rng = Rng::seed_from_u64(0x49);
+    for _ in 0..64 {
+        let profile = random_monotone_profile(&mut rng, 16);
+        let t = rng.gen_range(0.0..1.0);
         let k = profile.k();
         let x = t * k as f64;
         let lo = x.floor() as usize;
         let hi = (lo + 1).min(k);
         let v = interp(profile.f_all(), x);
-        let (a, b) = (profile.f(lo).min(profile.f(hi)), profile.f(lo).max(profile.f(hi)));
-        prop_assert!(v >= a - 1e-9 && v <= b + 1e-9);
+        let (a, b) = (
+            profile.f(lo).min(profile.f(hi)),
+            profile.f(lo).max(profile.f(hi)),
+        );
+        assert!(v >= a - 1e-9 && v <= b + 1e-9);
     }
+}
 
-    #[test]
-    fn jps_best_mix_never_beaten_by_uniform_cuts(
-        profile in monotone_profile(12),
-        n in 1usize..12,
-    ) {
+#[test]
+fn jps_best_mix_never_beaten_by_uniform_cuts() {
+    let mut rng = Rng::seed_from_u64(0x4A);
+    for _ in 0..64 {
+        let profile = random_monotone_profile(&mut rng, 12);
+        let n = rng.gen_range(1..12usize);
         let star = jps_best_mix_plan(&profile, n).makespan_ms;
         for l in 0..=profile.k() {
-            let uniform = Plan::from_cuts(PlanStrategy::Jps, &profile, vec![l; n]).makespan_ms;
-            prop_assert!(star <= uniform + 1e-9);
+            let uniform = Plan::from_cuts(Strategy::Jps, &profile, vec![l; n]).makespan_ms;
+            assert!(star <= uniform + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn brute_force_dominates_jps(profile in monotone_profile(5), n in 1usize..5) {
+#[test]
+fn brute_force_dominates_jps() {
+    let mut rng = Rng::seed_from_u64(0x4B);
+    for _ in 0..64 {
+        let profile = random_monotone_profile(&mut rng, 5);
+        let n = rng.gen_range(1..5usize);
         let bf = brute_force_plan(&profile, n).makespan_ms;
         let jps = jps_best_mix_plan(&profile, n).makespan_ms;
-        prop_assert!(bf <= jps + 1e-9);
+        assert!(bf <= jps + 1e-9);
     }
 }
 
@@ -229,7 +257,7 @@ fn theorem53_two_types_reach_brute_force() {
             let mixed = {
                 let mut cuts = vec![s.l_star - 1; n / 2];
                 cuts.extend(std::iter::repeat_n(s.l_star, n - n / 2));
-                Plan::from_cuts(PlanStrategy::Jps, p, cuts).makespan_ms
+                Plan::from_cuts(Strategy::Jps, p, cuts).makespan_ms
             };
             assert!(
                 (mixed - bf).abs() < 1e-9,
