@@ -6,7 +6,10 @@
 //! (`mcdnn_partition::reference`, full plan materialization per
 //! candidate) on synthetic monotone profiles, checks both paths return
 //! identical plans, and writes the numbers to `BENCH_planner.json` at
-//! the repo root.
+//! the repo root. A separate instrumented pass (observability enabled
+//! for exactly one call) records how many candidates each planner
+//! kernel-scored, so the JSON carries work counts next to wall times
+//! while the timing loops run with the registry disabled.
 //!
 //! ```text
 //! cargo run -p mcdnn-bench --release --bin planner_bench
@@ -30,6 +33,7 @@ struct Row {
     n: usize,
     reference_ns: f64,
     kernel_ns: f64,
+    kernel_evals: u64,
     identical: bool,
 }
 
@@ -40,6 +44,9 @@ impl Row {
 }
 
 fn main() {
+    // Timing must not pay for span/counter recording; per-row work
+    // counts come from a dedicated instrumented call below.
+    mcdnn_obs::set_enabled(false);
     banner(
         "Planner micro-benchmark",
         "kernel candidate scoring beats full plan materialization by >= 20x at n = 10_000",
@@ -67,17 +74,18 @@ fn main() {
         }
     }
 
-    println!("| planner | k | n | reference | kernel | speedup | plans identical |");
-    println!("|---|---|---|---|---|---|---|");
+    println!("| planner | k | n | reference | kernel | speedup | kernel evals | plans identical |");
+    println!("|---|---|---|---|---|---|---|---|");
     for r in &rows {
         println!(
-            "| {} | {} | {} | {} | {} | {:.1}x | {} |",
+            "| {} | {} | {} | {} | {} | {:.1}x | {} | {} |",
             r.planner,
             r.k,
             r.n,
             fmt_ns(r.reference_ns),
             fmt_ns(r.kernel_ns),
             r.speedup(),
+            r.kernel_evals,
             if r.identical { "yes" } else { "NO" },
         );
     }
@@ -113,12 +121,20 @@ fn bench_planner(
 ) -> Row {
     let (slow_plan, reference_ns) = bench(|| reference(profile, n));
     let (fast_plan, kernel_ns) = bench(|| kernel(profile, n));
+    // Count kernel evaluations with the registry on for one call only,
+    // outside the timed loops.
+    mcdnn_obs::set_enabled(true);
+    let before = mcdnn_obs::counter_value("planner.kernel_evals");
+    std::hint::black_box(kernel(profile, n));
+    let kernel_evals = mcdnn_obs::counter_value("planner.kernel_evals") - before;
+    mcdnn_obs::set_enabled(false);
     Row {
         planner,
         k,
         n,
         reference_ns,
         kernel_ns,
+        kernel_evals,
         identical: fast_plan == slow_plan,
     }
 }
@@ -182,13 +198,14 @@ fn to_json(rows: &[Row], all_identical: bool, target_met: bool) -> String {
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"planner\": \"{}\", \"k\": {}, \"n\": {}, \"reference_ns\": {:.0}, \"kernel_ns\": {:.0}, \"speedup\": {:.1}, \"plans_identical\": {}}}{}\n",
+            "    {{\"planner\": \"{}\", \"k\": {}, \"n\": {}, \"reference_ns\": {:.0}, \"kernel_ns\": {:.0}, \"speedup\": {:.1}, \"kernel_evals\": {}, \"plans_identical\": {}}}{}\n",
             r.planner,
             r.k,
             r.n,
             r.reference_ns,
             r.kernel_ns,
             r.speedup(),
+            r.kernel_evals,
             r.identical,
             if i + 1 < rows.len() { "," } else { "" },
         ));

@@ -95,22 +95,12 @@ impl<'a> Flags<'a> {
     fn strategy_or(&self, default: Strategy) -> Result<Strategy, CliError> {
         match self.get("strategy") {
             None => Ok(default),
-            Some(raw) => parse_strategy(raw),
+            // All strategy-name parsing flows through the one FromStr
+            // impl on `Strategy`.
+            Some(raw) => raw.parse().map_err(|e: mcdnn::partition::ParseStrategyError| {
+                err(e.to_string())
+            }),
         }
-    }
-}
-
-fn parse_strategy(raw: &str) -> Result<Strategy, CliError> {
-    match raw.to_ascii_lowercase().as_str() {
-        "lo" | "local" | "local-only" => Ok(Strategy::LocalOnly),
-        "co" | "cloud" | "cloud-only" => Ok(Strategy::CloudOnly),
-        "po" | "partition-only" => Ok(Strategy::PartitionOnly),
-        "jps" => Ok(Strategy::Jps),
-        "jps*" | "jps-star" | "best-mix" => Ok(Strategy::JpsBestMix),
-        "bf" | "brute-force" => Ok(Strategy::BruteForce),
-        other => Err(err(format!(
-            "unknown strategy '{other}' (lo|co|po|jps|jps*|bf)"
-        ))),
     }
 }
 
@@ -143,7 +133,11 @@ USAGE:
   mcdnn hetero  --models <a,b,..> --counts <n1,n2,..> --bandwidth <Mbps>
   mcdnn dot     --model <name>
 
-`plan` also accepts --svg <path> (SVG Gantt chart) and --trace <path>\n(Chrome trace-event JSON, viewable in Perfetto).
+`plan` also accepts --svg <path> (SVG Gantt chart), --trace <path>
+(Chrome trace-event JSON, viewable in Perfetto), --emit-trace <path>
+(unified Chrome trace: schedule rows plus recorded planner/executor
+spans) and --emit-metrics <path> (JSON snapshot of planner candidate
+counts and per-stage busy/wait histograms).
 ";
 
 /// Run the CLI on the given arguments (excluding the program name),
@@ -221,8 +215,20 @@ fn cmd_plan(flags: &Flags) -> Result<String, CliError> {
     let (model, s) = scenario(flags)?;
     let n = flags.parse_usize("jobs")?;
     let strategy = flags.strategy_or(Strategy::Jps)?;
-    let timed = s.plan_timed(strategy, n);
-    let plan = &timed.plan;
+    let emit_trace = flags.get("emit-trace");
+    let emit_metrics = flags.get("emit-metrics");
+    let observing = emit_trace.is_some() || emit_metrics.is_some();
+    if observing {
+        // Start the registry from a clean slate so the exported data
+        // describes exactly this invocation.
+        mcdnn_obs::set_enabled(true);
+        mcdnn_obs::reset();
+    }
+    let started = std::time::Instant::now();
+    let plan = s
+        .try_plan(strategy, n)
+        .map_err(|e| err(format!("planning failed: {e}")))?;
+    let decision_time = started.elapsed();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -235,7 +241,7 @@ fn cmd_plan(flags: &Flags) -> Result<String, CliError> {
         "makespan: {:.1} ms ({:.1} ms/job), decided in {:?}",
         plan.makespan_ms,
         plan.average_makespan_ms(),
-        timed.decision_time
+        decision_time
     );
     let _ = writeln!(out, "cuts:  {:?}", plan.cuts);
     let _ = writeln!(out, "order: {:?}", plan.order);
@@ -249,6 +255,28 @@ fn cmd_plan(flags: &Flags) -> Result<String, CliError> {
         let trace = mcdnn_sim::to_chrome_trace(&plan.jobs(s.profile()), &plan.order);
         std::fs::write(path, trace).map_err(|e| err(format!("writing {path}: {e}")))?;
         let _ = writeln!(out, "wrote Chrome trace to {path} (open in Perfetto)");
+    }
+    if observing {
+        // Replay the plan on the deterministic executor so the
+        // per-stage busy/wait histograms describe this schedule.
+        let jobs = plan.jobs(s.profile());
+        mcdnn_sim::run_pipeline(&jobs, &plan.order, &mcdnn_sim::ExecutorConfig::default());
+        if let Some(path) = emit_trace {
+            let mut trace = mcdnn_sim::schedule_trace(&jobs, &plan.order, 1);
+            trace.add_spans(2, &mcdnn_obs::drain_spans());
+            std::fs::write(path, trace.to_json())
+                .map_err(|e| err(format!("writing {path}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "wrote unified Chrome trace to {path} (pid 1: schedule, pid 2: recorded spans; \
+                 open in Perfetto)"
+            );
+        }
+        if let Some(path) = emit_metrics {
+            std::fs::write(path, mcdnn_obs::snapshot().to_json())
+                .map_err(|e| err(format!("writing {path}: {e}")))?;
+            let _ = writeln!(out, "wrote metrics snapshot to {path}");
+        }
     }
     Ok(out)
 }
@@ -338,13 +366,11 @@ fn cmd_compare(flags: &Flags) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "| strategy | makespan (ms) | per-job (ms) |");
     let _ = writeln!(out, "|---|---|---|");
-    for strat in [
-        Strategy::LocalOnly,
-        Strategy::CloudOnly,
-        Strategy::PartitionOnly,
-        Strategy::Jps,
-        Strategy::JpsBestMix,
-    ] {
+    // Every strategy except BF, whose cost explodes at compare-scale n.
+    for strat in Strategy::all()
+        .into_iter()
+        .filter(|&s| s != Strategy::BruteForce)
+    {
         let plan = s.plan(strat, n);
         let _ = writeln!(
             out,
@@ -687,6 +713,74 @@ mod tests {
         let content = std::fs::read_to_string(&trace).unwrap();
         assert!(content.starts_with('[') && content.trim_end().ends_with(']'));
         assert!(content.contains("mobile CPU"));
+    }
+
+    #[test]
+    fn plan_emit_trace_and_metrics() {
+        // One test exercises both flags: each emitting run resets the
+        // process-global registry, so two parallel tests would clobber
+        // each other's data.
+        let dir = std::env::temp_dir().join("mcdnn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("unified.trace.json");
+        let metrics = dir.join("metrics.json");
+        let out = run_str(&[
+            "plan", "--model", "alexnet", "--bandwidth", "18.88", "--jobs", "10",
+            "--emit-trace", trace.to_str().unwrap(),
+            "--emit-metrics", metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("unified Chrome trace"));
+        assert!(out.contains("metrics snapshot"));
+
+        let doc = std::fs::read_to_string(&trace).unwrap();
+        let parsed = mcdnn_obs::json::parse(&doc).expect("trace is valid JSON");
+        let events = parsed.as_array().expect("array document");
+        // Schedule rows under pid 1, recorded spans under pid 2.
+        let pids: Vec<f64> = events
+            .iter()
+            .map(|e| e.get("pid").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(pids.contains(&1.0), "schedule rows present");
+        assert!(pids.contains(&2.0), "span rows present");
+        assert!(doc.contains("mobile CPU"));
+        assert!(doc.contains("jps_plan"));
+        // X-event timestamps are monotone per the writer contract.
+        let ts: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+
+        let snap = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = mcdnn_obs::json::parse(&snap).expect("metrics are valid JSON");
+        let counters = parsed.get("counters").expect("counters object");
+        assert!(
+            counters.get("planner.jps.candidates").and_then(|v| v.as_f64()).unwrap_or(0.0)
+                >= 1.0,
+            "planner candidate counts exported: {snap}"
+        );
+        let hists = parsed.get("histograms").expect("histograms object");
+        for h in ["exec.mobile.busy_ms", "exec.uplink.busy_ms", "exec.mobile.wait_ms"] {
+            assert!(
+                hists.get(h).and_then(|v| v.get("count")).and_then(|c| c.as_f64())
+                    .unwrap_or(0.0)
+                    >= 1.0,
+                "{h} populated: {snap}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_reports_infeasible_brute_force_as_error() {
+        let res = run_str(&[
+            "plan", "--model", "alexnet", "--bandwidth", "18.88", "--jobs", "100000",
+            "--strategy", "bf",
+        ]);
+        let msg = res.unwrap_err().0;
+        assert!(msg.contains("planning failed"), "{msg}");
+        assert!(msg.contains("multisets"), "{msg}");
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod prelude {
     pub use mcdnn_flowshop::{johnson_order, makespan, FlowJob};
     pub use mcdnn_graph::{DnnGraph, LayerKind, LineDnn, TensorShape};
     pub use mcdnn_models::Model;
-    pub use mcdnn_partition::{Plan, Strategy};
-    pub use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, NetworkModel};
+    pub use mcdnn_partition::{Plan, PlanError, Strategy};
+    pub use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, NetworkModel, ProfileError};
     pub use mcdnn_sim::{simulate, DesConfig, ExecutorConfig};
 }

@@ -5,10 +5,7 @@ use std::time::{Duration, Instant};
 
 use mcdnn_graph::LineDnn;
 use mcdnn_models::Model;
-use mcdnn_partition::{
-    brute_force_plan, cloud_only_plan, jps_best_mix_plan, jps_plan, local_only_plan,
-    partition_only_plan, Plan, Strategy,
-};
+use mcdnn_partition::{Plan, PlanError, Strategy};
 use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, NetworkModel};
 
 /// A plan together with the time the planner itself took — the paper's
@@ -94,15 +91,17 @@ impl Scenario {
     }
 
     /// Plan `n` jobs with the given strategy.
+    ///
+    /// Panics on infeasible inputs (oversized brute force); use
+    /// [`Scenario::try_plan`] to receive those as values instead.
     pub fn plan(&self, strategy: Strategy, n: usize) -> Plan {
-        match strategy {
-            Strategy::LocalOnly => local_only_plan(&self.profile, n),
-            Strategy::CloudOnly => cloud_only_plan(&self.profile, n),
-            Strategy::PartitionOnly => partition_only_plan(&self.profile, n),
-            Strategy::Jps => jps_plan(&self.profile, n),
-            Strategy::JpsBestMix => jps_best_mix_plan(&self.profile, n),
-            Strategy::BruteForce => brute_force_plan(&self.profile, n),
-        }
+        strategy.plan(&self.profile, n)
+    }
+
+    /// Plan `n` jobs, reporting infeasibility as a [`PlanError`]
+    /// instead of panicking (see [`Strategy::try_plan`]).
+    pub fn try_plan(&self, strategy: Strategy, n: usize) -> Result<Plan, PlanError> {
+        strategy.try_plan(&self.profile, n)
     }
 
     /// Plan and measure the decision overhead (Fig. 12(d)).
@@ -181,6 +180,21 @@ mod tests {
         let slow = wifi.with_network(NetworkModel::three_g());
         assert!(slow.profile().g(0) > wifi.profile().g(0));
         assert_eq!(slow.profile().f(3), wifi.profile().f(3));
+    }
+
+    #[test]
+    fn try_plan_reports_oversized_brute_force() {
+        let s = Scenario::paper_default(Model::AlexNet, NetworkModel::wifi());
+        // Every zoo profile is monotone, so JPS succeeds...
+        let plan = s.try_plan(Strategy::Jps, 10).expect("monotone profile");
+        assert_eq!(plan.n(), 10);
+        // ...while a huge brute force is refused as a value, not a panic.
+        match s.try_plan(Strategy::BruteForce, 100_000) {
+            Err(PlanError::TooManyCandidates { candidates, limit }) => {
+                assert!(candidates > limit)
+            }
+            other => panic!("expected TooManyCandidates, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Fixed-bucket histograms.
+//!
+//! Buckets are fixed at compile time — powers of two from 1 µs to
+//! ~134 s — so recording is a branch-free index computation and two
+//! integer increments, and merging or exporting never rebalances
+//! anything. Values above the last bound land in an overflow bucket.
+
+/// Number of finite buckets; bucket `i` covers values
+/// `<= 0.001 * 2^i` ms (1 µs, 2 µs, …, ~134 s).
+pub const BUCKETS: usize = 28;
+
+/// A fixed-bucket histogram of millisecond observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    overflow: u64,
+    count: u64,
+    sum_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+/// Upper bound (inclusive) of finite bucket `i`, in ms.
+pub fn bucket_upper_ms(i: usize) -> f64 {
+    0.001 * (1u64 << i) as f64
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            overflow: 0,
+            count: 0,
+            sum_ms: 0.0,
+            min_ms: f64::INFINITY,
+            max_ms: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation (ms). Negative and non-finite values are
+    /// clamped to 0 rather than rejected — observability must not
+    /// panic in production paths.
+    pub fn observe(&mut self, value_ms: f64) {
+        let v = if value_ms.is_finite() && value_ms > 0.0 {
+            value_ms
+        } else {
+            0.0
+        };
+        match (0..BUCKETS).find(|&i| v <= bucket_upper_ms(i)) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum_ms += v;
+        self.min_ms = self.min_ms.min(v);
+        self.max_ms = self.max_ms.max(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, ms.
+    pub fn sum_ms(&self) -> f64 {
+        self.sum_ms
+    }
+
+    /// Smallest observation, ms (0 when empty).
+    pub fn min_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_ms
+        }
+    }
+
+    /// Largest observation, ms (0 when empty).
+    pub fn max_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_ms
+        }
+    }
+
+    /// Mean observation, ms (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+
+    /// Count in finite bucket `i` (values `<= bucket_upper_ms(i)`).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Observations above the last finite bucket bound.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Append this histogram as a JSON object to `out`. Only non-empty
+    /// buckets are listed (the bounds are fixed, so sparse output loses
+    /// nothing).
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum_ms\":{:.6},\"min_ms\":{:.6},\"max_ms\":{:.6},\"buckets\":[",
+            self.count,
+            self.sum_ms,
+            self.min_ms(),
+            self.max_ms()
+        );
+        let mut first = true;
+        for i in 0..BUCKETS {
+            if self.counts[i] == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"le_ms\":{:.6},\"count\":{}}}",
+                bucket_upper_ms(i),
+                self.counts[i]
+            );
+        }
+        let _ = write!(out, "],\"overflow\":{}}}", self.overflow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_double() {
+        assert_eq!(bucket_upper_ms(0), 0.001);
+        assert_eq!(bucket_upper_ms(10), 1.024);
+        assert!(bucket_upper_ms(BUCKETS - 1) > 100_000.0);
+    }
+
+    #[test]
+    fn observe_tracks_stats() {
+        let mut h = Histogram::new();
+        h.observe(0.5);
+        h.observe(2.0);
+        h.observe(8.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum_ms() - 10.5).abs() < 1e-12);
+        assert_eq!(h.min_ms(), 0.5);
+        assert_eq!(h.max_ms(), 8.0);
+        assert!((h.mean_ms() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_assignment_is_first_fit() {
+        let mut h = Histogram::new();
+        h.observe(0.001); // exactly bucket 0's bound
+        h.observe(0.0015); // bucket 1 (0.002)
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+    }
+
+    #[test]
+    fn overflow_and_degenerate_values() {
+        let mut h = Histogram::new();
+        h.observe(1e9); // above every bound
+        h.observe(-3.0); // clamped to 0, bucket 0
+        h.observe(f64::NAN); // clamped to 0
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min_ms(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ms(), 0.0);
+        assert_eq!(h.max_ms(), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Histogram::new();
+        h.observe(1.0);
+        let mut out = String::new();
+        h.write_json(&mut out);
+        let parsed = crate::json::parse(&out).expect("valid JSON");
+        assert_eq!(parsed.get("count").and_then(|v| v.as_f64()), Some(1.0));
+        assert!(parsed.get("buckets").and_then(|v| v.as_array()).is_some());
+    }
+}

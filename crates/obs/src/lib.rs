@@ -1,0 +1,54 @@
+//! # mcdnn-obs
+//!
+//! Zero-dependency (std-only) observability for the mcdnn serving
+//! stack: lightweight spans with monotonic timestamps, named counters
+//! and fixed-bucket histograms behind one process-global registry, plus
+//! two export sinks — a Chrome-trace JSON writer (open the file in
+//! `chrome://tracing` / Perfetto) and a JSON metrics snapshot.
+//!
+//! ## Design
+//!
+//! * **One registry per process.** Instrumented crates (`partition`,
+//!   `sim`, `runtime`) record into the global registry; front ends
+//!   (CLI, benches) drain it into a sink. No handles are threaded
+//!   through APIs, so instrumentation never changes a signature.
+//! * **Free when off.** The registry is enabled unless `MCDNN_OBS=0`
+//!   (or `off`/`false`) is set in the environment; [`set_enabled`]
+//!   overrides the environment at runtime. Every recording entry point
+//!   checks a single relaxed atomic load first and returns before
+//!   taking any lock, reading any clock, or allocating — the
+//!   `alloc_free` integration test pins the disabled span path to zero
+//!   heap allocations with a counting global allocator.
+//! * **Static names.** Counter, histogram and span names are
+//!   `&'static str`, so the hot path never formats or clones strings.
+//! * **No external crates.** JSON is written by hand and validated by
+//!   the minimal parser in [`json`], which the round-trip tests (and
+//!   downstream crates' tests) reuse.
+//!
+//! ```
+//! let _span = mcdnn_obs::span("demo", "plan");
+//! mcdnn_obs::counter_add("demo.calls", 1);
+//! mcdnn_obs::observe_ms("demo.latency_ms", 1.25);
+//! drop(_span);
+//! let snapshot = mcdnn_obs::snapshot();
+//! assert!(snapshot.counter("demo.calls").unwrap_or(0) >= 1);
+//! let json = snapshot.to_json();
+//! assert!(mcdnn_obs::json::parse(&json).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use chrome::{ChromeTrace, TraceEvent};
+pub use hist::Histogram;
+pub use registry::{
+    counter_add, counter_value, drain_spans, enabled, observe_ms, reset, set_enabled, snapshot,
+    MetricsSnapshot, SpanRecord,
+};
+pub use span::{span, Span};

@@ -1,0 +1,62 @@
+//! Proof that disabled instrumentation is allocation-free.
+//!
+//! A counting global allocator (no external crates — a thin wrapper
+//! over `System` with an atomic counter) measures heap allocations
+//! around the span/counter/histogram fast paths with the registry
+//! disabled. The whole check lives in one test function because the
+//! allocator and the enabled flag are process-global.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter has no effect on
+// allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_span_fast_path_allocates_nothing() {
+    // Force the registry into existence (its lazy init allocates) and
+    // disable it before measuring.
+    mcdnn_obs::set_enabled(true);
+    mcdnn_obs::counter_add("alloc.warmup", 1);
+    {
+        let _s = mcdnn_obs::span("alloc", "warmup");
+    }
+    mcdnn_obs::set_enabled(false);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let _s = mcdnn_obs::span("alloc", "fast-path");
+        mcdnn_obs::counter_add("alloc.fast", 1);
+        mcdnn_obs::observe_ms("alloc.fast_hist", 0.5);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    mcdnn_obs::set_enabled(true);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled instrumentation must not allocate"
+    );
+}

@@ -1,0 +1,40 @@
+//! Disabled-mode semantics, isolated in their own process: toggling the
+//! process-global enabled flag would race with the crate's unit tests,
+//! so everything lives in one test function here.
+
+#[test]
+fn disabled_registry_records_nothing() {
+    // Scope a unique namespace so a future parallel test in this file
+    // cannot collide.
+    mcdnn_obs::set_enabled(true);
+    mcdnn_obs::counter_add("disabled.counter", 1);
+    let baseline = mcdnn_obs::counter_value("disabled.counter");
+
+    mcdnn_obs::set_enabled(false);
+    assert!(!mcdnn_obs::enabled());
+
+    // Counters, histograms and spans all drop their writes.
+    mcdnn_obs::counter_add("disabled.counter", 100);
+    mcdnn_obs::observe_ms("disabled.hist", 5.0);
+    {
+        let _s = mcdnn_obs::span("disabled", "span");
+    }
+
+    mcdnn_obs::set_enabled(true);
+    assert_eq!(mcdnn_obs::counter_value("disabled.counter"), baseline);
+    let snap = mcdnn_obs::snapshot();
+    assert!(snap.histogram("disabled.hist").is_none());
+    assert!(mcdnn_obs::drain_spans()
+        .iter()
+        .all(|s| s.cat != "disabled"));
+
+    // A span opened while enabled but closed while disabled is dropped,
+    // not recorded with a bogus duration.
+    let s = mcdnn_obs::span("disabled", "mid-flight");
+    mcdnn_obs::set_enabled(false);
+    drop(s);
+    mcdnn_obs::set_enabled(true);
+    assert!(mcdnn_obs::drain_spans()
+        .iter()
+        .all(|s| s.name != "mid-flight"));
+}

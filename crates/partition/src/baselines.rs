@@ -1,5 +1,10 @@
 //! Comparison strategies from the paper's §6.2: LO, CO, PO and the
 //! exact joint brute force (BF).
+//!
+//! The free functions here remain supported, but new code should go
+//! through [`Strategy::plan`]/[`Strategy::try_plan`](crate::Strategy::try_plan);
+//! the free functions are bound for deprecation once downstream callers
+//! migrate.
 
 use mcdnn_flowshop::kernels::johnson_blocks_makespan;
 use mcdnn_profile::CostProfile;
@@ -43,14 +48,23 @@ pub fn partition_only_plan(profile: &CostProfile, n: usize) -> Plan {
 ///
 /// Complexity is `C(n + k, k)` multisets; callers should keep
 /// `n` and `k` small (the paper uses BF only on small inputs).
-/// Panics when the multiset count would exceed `10_000_000`.
+/// Panics when the multiset count would exceed
+/// [`BF_CANDIDATE_LIMIT`]; [`Strategy::try_plan`](crate::Strategy::try_plan)
+/// reports the same condition as a
+/// [`PlanError::TooManyCandidates`](crate::PlanError::TooManyCandidates)
+/// instead.
 pub fn brute_force_plan(profile: &CostProfile, n: usize) -> Plan {
+    let _span = mcdnn_obs::span("planner", "brute_force_plan");
     let k = profile.k();
-    let combos = binomial(n + k, k);
+    let combos = brute_force_candidates(profile, n);
     assert!(
-        combos <= 10_000_000,
+        combos <= BF_CANDIDATE_LIMIT,
         "joint brute force would enumerate {combos} multisets; reduce n or k"
     );
+    mcdnn_obs::counter_add("planner.bf.calls", 1);
+    // Every multiset is scored with exactly one block-kernel call.
+    mcdnn_obs::counter_add("planner.bf.candidates", combos as u64);
+    mcdnn_obs::counter_add("planner.kernel_evals", combos as u64);
     let fg: Vec<(f64, f64)> = (0..=k).map(|c| (profile.f(c), profile.g(c))).collect();
     let mut best: Option<(f64, Vec<usize>)> = None;
     let mut counts = vec![0usize; k + 1];
@@ -74,6 +88,16 @@ pub fn brute_force_plan(profile: &CostProfile, n: usize) -> Plan {
         cuts.extend(std::iter::repeat_n(cut, c));
     }
     Plan::from_cuts(Strategy::BruteForce, profile, cuts)
+}
+
+/// Enumeration cap for [`brute_force_plan`]: above this many multisets
+/// the exact search refuses to run.
+pub const BF_CANDIDATE_LIMIT: u128 = 10_000_000;
+
+/// Number of cut multisets `C(n + k, k)` the brute force would
+/// enumerate for this profile and job count (saturating).
+pub fn brute_force_candidates(profile: &CostProfile, n: usize) -> u128 {
+    binomial(n + profile.k(), profile.k())
 }
 
 /// Visit every way to write `remaining` as counts over `counts[pos..]`.

@@ -111,12 +111,19 @@ fn ratio_mix_at_prev(search: &CutSearch, n: usize) -> Option<usize> {
 }
 
 /// Score the pre-refactor candidate list in its original order with
-/// strict-`<` improvement; return the winner and its score.
-fn best_jps_candidate(profile: &CostProfile, n: usize, search: &CutSearch) -> (Candidate, f64) {
+/// strict-`<` improvement; return the winner, its score, and how many
+/// candidates were kernel-scored (the planner's work metric).
+fn best_jps_candidate(
+    profile: &CostProfile,
+    n: usize,
+    search: &CutSearch,
+) -> (Candidate, f64, u64) {
     let mut best = Candidate::Uniform(0);
     let mut best_score = best.score(profile, n, search);
-    let consider = |cand: Candidate, best: &mut Candidate, best_score: &mut f64| {
+    let mut evals: u64 = 1;
+    let mut consider = |cand: Candidate, best: &mut Candidate, best_score: &mut f64| {
         let score = cand.score(profile, n, search);
+        evals += 1;
         if score < *best_score {
             *best = cand;
             *best_score = score;
@@ -145,7 +152,7 @@ fn best_jps_candidate(profile: &CostProfile, n: usize, search: &CutSearch) -> (C
             consider(Candidate::Mix { at_prev }, &mut best, &mut best_score);
         }
     }
-    (best, best_score)
+    (best, best_score, evals)
 }
 
 /// The paper's JPS plan for `n` homogeneous jobs.
@@ -170,6 +177,11 @@ fn best_jps_candidate(profile: &CostProfile, n: usize, search: &CutSearch) -> (C
 /// winner is materialized, so the whole search is O(k + n) with exactly
 /// one allocation of the cut vector.
 ///
+/// New code should call
+/// [`Strategy::plan`]/[`Strategy::try_plan`](crate::Strategy::try_plan)
+/// (`Strategy::Jps`) instead; this free function is bound for
+/// deprecation once downstream callers migrate.
+///
 /// ```
 /// use mcdnn_partition::{jps_plan, local_only_plan};
 /// use mcdnn_profile::CostProfile;
@@ -186,8 +198,12 @@ fn best_jps_candidate(profile: &CostProfile, n: usize, search: &CutSearch) -> (C
 /// assert_eq!(jps.cuts.len(), 10);
 /// ```
 pub fn jps_plan(profile: &CostProfile, n: usize) -> Plan {
+    let _span = mcdnn_obs::span("planner", "jps_plan");
     let search = binary_search_cut(profile);
-    let (best, _) = best_jps_candidate(profile, n, &search);
+    let (best, _, evals) = best_jps_candidate(profile, n, &search);
+    mcdnn_obs::counter_add("planner.jps.calls", 1);
+    mcdnn_obs::counter_add("planner.jps.candidates", evals);
+    mcdnn_obs::counter_add("planner.kernel_evals", evals);
     best.materialize(Strategy::Jps, profile, n, &search)
 }
 
@@ -196,9 +212,15 @@ pub fn jps_plan(profile: &CostProfile, n: usize) -> Plan {
 /// best. Every mix is scored by the O(1) kernel, so the scan is O(n)
 /// total (it was O(n² log n) when each mix built and sorted its own job
 /// vector) and still never worse than the ratio plan.
+///
+/// New code should call
+/// [`Strategy::plan`]/[`Strategy::try_plan`](crate::Strategy::try_plan)
+/// (`Strategy::JpsBestMix`) instead; this free function is bound for
+/// deprecation once downstream callers migrate.
 pub fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
+    let _span = mcdnn_obs::span("planner", "jps_best_mix_plan");
     let search = binary_search_cut(profile);
-    let (mut best, mut best_score) = best_jps_candidate(profile, n, &search);
+    let (mut best, mut best_score, mut evals) = best_jps_candidate(profile, n, &search);
     if search.l_prev.is_some() {
         for m in 0..=n {
             let cand = Candidate::Mix { at_prev: m };
@@ -208,7 +230,11 @@ pub fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
                 best_score = score;
             }
         }
+        evals += n as u64 + 1;
     }
+    mcdnn_obs::counter_add("planner.best_mix.calls", 1);
+    mcdnn_obs::counter_add("planner.best_mix.candidates", evals);
+    mcdnn_obs::counter_add("planner.kernel_evals", evals);
     best.materialize(Strategy::JpsBestMix, profile, n, &search)
 }
 

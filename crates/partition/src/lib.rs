@@ -32,6 +32,7 @@ pub mod batching;
 pub mod continuous;
 pub mod edge;
 pub mod energy_aware;
+pub mod error;
 pub mod flowtime_aware;
 pub mod general;
 pub mod heterogeneous;
@@ -41,7 +42,12 @@ pub mod plan;
 pub mod reference;
 
 pub use alg2::{binary_search_cut, mixing_ratio, CutSearch};
+// The free planner functions below remain supported for scripts and
+// tests, but new code should prefer `Strategy::plan`/`Strategy::try_plan`
+// — the enum surface is the one that will keep growing; the free
+// functions are bound for deprecation once downstream callers migrate.
 pub use baselines::{brute_force_plan, cloud_only_plan, local_only_plan, partition_only_plan};
+pub use error::{ParseStrategyError, PlanError};
 pub use batching::{best_batch_size, evaluate_batch, BatchChoice};
 pub use continuous::{
     balanced_cut_continuous, convexity_slack, duality_gap, lse_objective, theorem53_condition,

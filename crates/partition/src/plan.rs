@@ -3,6 +3,8 @@
 use mcdnn_flowshop::{gantt, johnson_order, makespan, FlowJob, Gantt};
 use mcdnn_profile::CostProfile;
 
+use crate::error::{ParseStrategyError, PlanError};
+
 /// Which planner produced a [`Plan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
@@ -34,6 +36,122 @@ impl Strategy {
             Strategy::BruteForce => "BF",
         }
     }
+
+    /// Every strategy, in the order experiment tables list them.
+    pub fn all() -> [Strategy; 6] {
+        [
+            Strategy::LocalOnly,
+            Strategy::CloudOnly,
+            Strategy::PartitionOnly,
+            Strategy::Jps,
+            Strategy::JpsBestMix,
+            Strategy::BruteForce,
+        ]
+    }
+
+    /// Plan `n` homogeneous jobs with this strategy.
+    ///
+    /// Lenient surface: accepts non-monotone profiles (the uniform
+    /// sweep handles them) and panics on infeasible brute-force sizes,
+    /// matching the free planner functions it dispatches to. Use
+    /// [`Strategy::try_plan`] when failures must reach the caller as
+    /// values.
+    pub fn plan(self, profile: &CostProfile, n: usize) -> Plan {
+        match self {
+            Strategy::LocalOnly => crate::baselines::local_only_plan(profile, n),
+            Strategy::CloudOnly => crate::baselines::cloud_only_plan(profile, n),
+            Strategy::PartitionOnly => crate::baselines::partition_only_plan(profile, n),
+            Strategy::Jps => crate::jps::jps_plan(profile, n),
+            Strategy::JpsBestMix => crate::jps::jps_best_mix_plan(profile, n),
+            Strategy::BruteForce => crate::baselines::brute_force_plan(profile, n),
+        }
+    }
+
+    /// Plan `n` homogeneous jobs, reporting infeasibility as a value.
+    ///
+    /// Stricter than [`Strategy::plan`]: the JPS strategies require the
+    /// clustered-profile monotonicity their theory assumes
+    /// ([`PlanError::NonMonotoneF`]/[`PlanError::NonMonotoneG`]), and
+    /// brute force refuses oversized instances with
+    /// [`PlanError::TooManyCandidates`] instead of panicking. The
+    /// baselines (LO/CO/PO) are total and never fail.
+    pub fn try_plan(self, profile: &CostProfile, n: usize) -> Result<Plan, PlanError> {
+        match self {
+            Strategy::Jps | Strategy::JpsBestMix => {
+                if let Some(at) = first_f_violation(profile) {
+                    return Err(PlanError::NonMonotoneF { at });
+                }
+                if let Some(at) = first_g_violation(profile) {
+                    return Err(PlanError::NonMonotoneG { at });
+                }
+            }
+            Strategy::BruteForce => {
+                let candidates = crate::baselines::brute_force_candidates(profile, n);
+                if candidates > crate::baselines::BF_CANDIDATE_LIMIT {
+                    return Err(PlanError::TooManyCandidates {
+                        candidates,
+                        limit: crate::baselines::BF_CANDIDATE_LIMIT,
+                    });
+                }
+            }
+            _ => {}
+        }
+        Ok(self.plan(profile, n))
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    /// Canonical lowercase name, accepted back by `FromStr`.
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Strategy::LocalOnly => "lo",
+            Strategy::CloudOnly => "co",
+            Strategy::PartitionOnly => "po",
+            Strategy::Jps => "jps",
+            Strategy::JpsBestMix => "jps*",
+            Strategy::BruteForce => "bf",
+        };
+        fmt.write_str(name)
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    /// Case-insensitive; accepts the canonical names plus the aliases
+    /// the CLI has always taken (`local-only`, `best-mix`, …). This is
+    /// the single parsing point — the CLI, scenarios and benches all
+    /// route through it.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lo" | "local" | "local-only" => Ok(Strategy::LocalOnly),
+            "co" | "cloud" | "cloud-only" => Ok(Strategy::CloudOnly),
+            "po" | "partition-only" => Ok(Strategy::PartitionOnly),
+            "jps" => Ok(Strategy::Jps),
+            "jps*" | "jps-star" | "best-mix" => Ok(Strategy::JpsBestMix),
+            "bf" | "brute-force" => Ok(Strategy::BruteForce),
+            _ => Err(ParseStrategyError { input: s.to_string() }),
+        }
+    }
+}
+
+/// First index where `f` decreases (tolerance matches
+/// [`CostProfile::f_is_monotone`]), or `None` when monotone.
+fn first_f_violation(profile: &CostProfile) -> Option<usize> {
+    profile
+        .f_all()
+        .windows(2)
+        .position(|w| w[1] < w[0] - 1e-12)
+        .map(|i| i + 1)
+}
+
+/// First index where `g` increases, or `None` when monotone.
+fn first_g_violation(profile: &CostProfile) -> Option<usize> {
+    profile
+        .g_all()
+        .windows(2)
+        .position(|w| w[1] > w[0] + 1e-12)
+        .map(|i| i + 1)
 }
 
 /// A complete decision for `n` homogeneous jobs: where each job is cut
@@ -155,5 +273,76 @@ mod tests {
     fn labels() {
         assert_eq!(Strategy::Jps.label(), "JPS");
         assert_eq!(Strategy::PartitionOnly.label(), "PO");
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for s in Strategy::all() {
+            assert_eq!(s.to_string().parse::<Strategy>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_cli_aliases_case_insensitively() {
+        assert_eq!("local-only".parse::<Strategy>().unwrap(), Strategy::LocalOnly);
+        assert_eq!("CLOUD".parse::<Strategy>().unwrap(), Strategy::CloudOnly);
+        assert_eq!("best-mix".parse::<Strategy>().unwrap(), Strategy::JpsBestMix);
+        assert_eq!("JPS-Star".parse::<Strategy>().unwrap(), Strategy::JpsBestMix);
+        assert_eq!("brute-force".parse::<Strategy>().unwrap(), Strategy::BruteForce);
+        let err = "neurosurgeon".parse::<Strategy>().unwrap_err();
+        assert!(err.to_string().contains("neurosurgeon"));
+        assert!(err.to_string().contains("jps"));
+    }
+
+    #[test]
+    fn strategy_plan_matches_free_functions() {
+        let p = profile();
+        for (s, free) in [
+            (Strategy::LocalOnly, crate::baselines::local_only_plan(&p, 4)),
+            (Strategy::CloudOnly, crate::baselines::cloud_only_plan(&p, 4)),
+            (Strategy::Jps, crate::jps::jps_plan(&p, 4)),
+            (Strategy::BruteForce, crate::baselines::brute_force_plan(&p, 4)),
+        ] {
+            assert_eq!(s.plan(&p, 4), free);
+            assert_eq!(s.try_plan(&p, 4).unwrap(), free);
+        }
+    }
+
+    #[test]
+    fn try_plan_rejects_non_monotone_profiles_for_jps() {
+        // g bumps upward at index 2.
+        let p = CostProfile::from_vectors(
+            "bumpy",
+            vec![0.0, 4.0, 7.0, 12.0],
+            vec![20.0, 6.0, 8.0, 0.0],
+            None,
+        );
+        assert_eq!(
+            Strategy::Jps.try_plan(&p, 4).unwrap_err(),
+            PlanError::NonMonotoneG { at: 2 }
+        );
+        assert_eq!(
+            Strategy::JpsBestMix.try_plan(&p, 4).unwrap_err(),
+            PlanError::NonMonotoneG { at: 2 }
+        );
+        // Baselines are total on the same profile.
+        assert!(Strategy::LocalOnly.try_plan(&p, 4).is_ok());
+        assert!(Strategy::PartitionOnly.try_plan(&p, 4).is_ok());
+    }
+
+    #[test]
+    fn try_plan_rejects_oversized_brute_force() {
+        let mut f: Vec<f64> = (0..=40).map(|i| i as f64).collect();
+        f[0] = 0.0;
+        let mut g: Vec<f64> = (0..=40).rev().map(|i| i as f64 * 2.0).collect();
+        *g.last_mut().unwrap() = 0.0;
+        let p = CostProfile::from_vectors("big", f, g, None);
+        match Strategy::BruteForce.try_plan(&p, 50) {
+            Err(PlanError::TooManyCandidates { candidates, limit }) => {
+                assert!(candidates > limit);
+                assert_eq!(limit, crate::baselines::BF_CANDIDATE_LIMIT);
+            }
+            other => panic!("expected TooManyCandidates, got {other:?}"),
+        }
     }
 }

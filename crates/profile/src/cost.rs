@@ -7,6 +7,77 @@ use mcdnn_graph::LineDnn;
 use crate::device::{CloudModel, DeviceModel};
 use crate::network::NetworkModel;
 
+/// Why a [`CostProfile`] could not be constructed.
+///
+/// Returned by [`CostProfile::try_new`]; the panicking
+/// [`CostProfile::from_vectors`] wraps it and panics with its
+/// [`Display`](std::fmt::Display) message, so both surfaces report the
+/// same diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// No cut points at all (`f` was empty).
+    Empty,
+    /// `f` and `g` vectors disagree in length.
+    LengthMismatch {
+        /// Length of `f`.
+        f: usize,
+        /// Length of `g`.
+        g: usize,
+    },
+    /// `cloud` vector disagrees in length with `f`.
+    CloudLengthMismatch {
+        /// Length of `f`.
+        f: usize,
+        /// Length of `cloud`.
+        cloud: usize,
+    },
+    /// `f(0)` must be zero: cut 0 runs nothing on the mobile device.
+    NonzeroF0 {
+        /// The offending value.
+        value: f64,
+    },
+    /// `g(k)` must be zero: the local-only cut uploads nothing.
+    NonzeroTailG {
+        /// The offending value.
+        value: f64,
+    },
+    /// A stage time is NaN, infinite, or negative.
+    NonFinite {
+        /// Which vector (`"f"`, `"g"` or `"cloud"`).
+        which: &'static str,
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Empty => write!(fmt, "profile needs at least one cut"),
+            ProfileError::LengthMismatch { f, g } => {
+                write!(fmt, "f and g length mismatch ({f} vs {g})")
+            }
+            ProfileError::CloudLengthMismatch { f, cloud } => {
+                write!(fmt, "cloud length mismatch ({f} vs {cloud})")
+            }
+            ProfileError::NonzeroF0 { value } => {
+                write!(fmt, "f(0) must be 0 (nothing runs on mobile), got {value}")
+            }
+            ProfileError::NonzeroTailG { value } => {
+                write!(fmt, "g(k) must be 0 (local-only uploads nothing), got {value}")
+            }
+            ProfileError::NonFinite { which, index, value } => write!(
+                fmt,
+                "stage times must be finite and >= 0: {which}[{index}] = {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 /// Stage durations for every cut point `l ∈ 0..=k` of one DNN:
 ///
 /// * `f_ms[l]` — mobile computation time of layers `1..=l` (the paper's
@@ -51,32 +122,74 @@ impl CostProfile {
     /// Build directly from stage vectors (synthetic workloads, tests).
     ///
     /// Panics unless `f[0] == 0`, `g[k] == 0`, lengths match, and all
-    /// entries are finite and non-negative.
+    /// entries are finite and non-negative. Thin wrapper over
+    /// [`CostProfile::try_new`] — prefer that in code that can report
+    /// errors instead of aborting.
     pub fn from_vectors(
         name: impl Into<String>,
         f_ms: Vec<f64>,
         g_ms: Vec<f64>,
         cloud_ms: Option<Vec<f64>>,
     ) -> Self {
-        assert!(!f_ms.is_empty(), "profile needs at least one cut");
-        assert_eq!(f_ms.len(), g_ms.len(), "f and g length mismatch");
-        let cloud_ms = cloud_ms.unwrap_or_else(|| vec![0.0; f_ms.len()]);
-        assert_eq!(f_ms.len(), cloud_ms.len(), "cloud length mismatch");
-        assert_eq!(f_ms[0], 0.0, "f(0) must be 0 (nothing runs on mobile)");
-        assert_eq!(
-            *g_ms.last().unwrap(),
-            0.0,
-            "g(k) must be 0 (local-only uploads nothing)"
-        );
-        for v in f_ms.iter().chain(&g_ms).chain(&cloud_ms) {
-            assert!(v.is_finite() && *v >= 0.0, "stage times must be finite and >= 0");
+        Self::try_new(name, f_ms, g_ms, cloud_ms).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor from stage vectors.
+    ///
+    /// Validates the shape invariants every planner relies on and
+    /// reports the first violation as a typed [`ProfileError`]:
+    /// non-empty vectors of equal length, `f[0] == 0`, `g[k] == 0`, and
+    /// every entry finite and non-negative. A missing `cloud_ms`
+    /// defaults to all-zero (the paper's negligible-cloud regime).
+    ///
+    /// Monotonicity of `f`/`g` is deliberately *not* required here —
+    /// non-clustered profiles are legal inputs to the uniform sweep;
+    /// strategies that do need it check via [`CostProfile::f_is_monotone`]
+    /// at planning time.
+    pub fn try_new(
+        name: impl Into<String>,
+        f_ms: Vec<f64>,
+        g_ms: Vec<f64>,
+        cloud_ms: Option<Vec<f64>>,
+    ) -> Result<Self, ProfileError> {
+        if f_ms.is_empty() {
+            return Err(ProfileError::Empty);
         }
-        CostProfile {
+        if f_ms.len() != g_ms.len() {
+            return Err(ProfileError::LengthMismatch {
+                f: f_ms.len(),
+                g: g_ms.len(),
+            });
+        }
+        let cloud_ms = cloud_ms.unwrap_or_else(|| vec![0.0; f_ms.len()]);
+        if f_ms.len() != cloud_ms.len() {
+            return Err(ProfileError::CloudLengthMismatch {
+                f: f_ms.len(),
+                cloud: cloud_ms.len(),
+            });
+        }
+        if f_ms[0] != 0.0 {
+            return Err(ProfileError::NonzeroF0 { value: f_ms[0] });
+        }
+        let tail_g = *g_ms.last().unwrap();
+        if tail_g != 0.0 {
+            return Err(ProfileError::NonzeroTailG { value: tail_g });
+        }
+        for (which, vec) in [("f", &f_ms), ("g", &g_ms), ("cloud", &cloud_ms)] {
+            if let Some(index) = vec.iter().position(|v| !v.is_finite() || *v < 0.0) {
+                return Err(ProfileError::NonFinite {
+                    which,
+                    index,
+                    value: vec[index],
+                });
+            }
+        }
+        Ok(CostProfile {
             name: name.into(),
             f_ms,
             g_ms,
             cloud_ms,
-        }
+        })
     }
 
     /// Model name.
@@ -271,5 +384,46 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn nan_rejected() {
         CostProfile::from_vectors("s", vec![0.0, f64::NAN], vec![5.0, 0.0], None);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            CostProfile::try_new("s", vec![], vec![], None).unwrap_err(),
+            ProfileError::Empty
+        );
+        assert_eq!(
+            CostProfile::try_new("s", vec![0.0, 1.0], vec![0.0], None).unwrap_err(),
+            ProfileError::LengthMismatch { f: 2, g: 1 }
+        );
+        assert_eq!(
+            CostProfile::try_new("s", vec![0.0, 1.0], vec![5.0, 0.0], Some(vec![0.0]))
+                .unwrap_err(),
+            ProfileError::CloudLengthMismatch { f: 2, cloud: 1 }
+        );
+        assert_eq!(
+            CostProfile::try_new("s", vec![1.0, 2.0], vec![5.0, 0.0], None).unwrap_err(),
+            ProfileError::NonzeroF0 { value: 1.0 }
+        );
+        assert_eq!(
+            CostProfile::try_new("s", vec![0.0, 2.0], vec![5.0, 1.0], None).unwrap_err(),
+            ProfileError::NonzeroTailG { value: 1.0 }
+        );
+        match CostProfile::try_new("s", vec![0.0, -3.0], vec![5.0, 0.0], None) {
+            Err(ProfileError::NonFinite { which: "f", index: 1, .. }) => {}
+            other => panic!("expected NonFinite for f[1], got {other:?}"),
+        }
+        // Display messages keep the historical panic substrings.
+        assert!(ProfileError::Empty.to_string().contains("at least one cut"));
+        assert!(ProfileError::NonzeroF0 { value: 1.0 }
+            .to_string()
+            .contains("f(0) must be 0"));
+    }
+
+    #[test]
+    fn try_new_accepts_valid_profiles() {
+        let p = CostProfile::try_new("ok", vec![0.0, 2.0], vec![5.0, 0.0], None).unwrap();
+        assert_eq!(p.k(), 1);
+        assert_eq!(p.cloud_all(), &[0.0, 0.0]);
     }
 }

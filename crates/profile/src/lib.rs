@@ -29,7 +29,7 @@ pub mod measure;
 pub mod network;
 pub mod regression;
 
-pub use cost::CostProfile;
+pub use cost::{CostProfile, ProfileError};
 pub use device::{CloudModel, DeviceModel};
 pub use energy::EnergyModel;
 pub use lookup::LookupTable;

@@ -60,8 +60,14 @@ where
 {
     let workers = worker_threads().min(items.len());
     if workers <= 1 {
+        mcdnn_obs::counter_add("runtime.jobs", items.len() as u64);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // Read the enabled flag once: per-worker utilization needs two clock
+    // reads per item, which the disabled path must not pay.
+    let observe = mcdnn_obs::enabled();
+    let sweep_span = mcdnn_obs::span("runtime", "parallel_map");
+    mcdnn_obs::counter_add("runtime.jobs", items.len() as u64);
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
@@ -69,17 +75,37 @@ where
             scope.spawn(|| {
                 // Batch locally; merge once per worker to keep the lock cold.
                 let mut local: Vec<(usize, R)> = Vec::new();
+                let started = observe.then(std::time::Instant::now);
+                let mut busy = std::time::Duration::ZERO;
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
-                    local.push((i, f(i, &items[i])));
+                    if started.is_some() {
+                        let t0 = std::time::Instant::now();
+                        local.push((i, f(i, &items[i])));
+                        busy += t0.elapsed();
+                    } else {
+                        local.push((i, f(i, &items[i])));
+                    }
+                }
+                if let Some(start) = started {
+                    // Fraction of the worker's lifetime spent inside
+                    // `f` (vs. queue contention + result merging).
+                    let alive = start.elapsed().as_secs_f64();
+                    if alive > 0.0 {
+                        mcdnn_obs::observe_ms(
+                            "runtime.worker.busy_frac",
+                            busy.as_secs_f64() / alive,
+                        );
+                    }
                 }
                 done.lock().expect("no worker poisoned the results").extend(local);
             });
         }
     });
+    drop(sweep_span);
     let mut indexed = done.into_inner().expect("scope joined every worker");
     indexed.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(indexed.len(), items.len());

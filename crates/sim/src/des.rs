@@ -93,6 +93,9 @@ impl DesResult {
 /// assert_eq!(result.timelines.len(), 2);
 /// ```
 pub fn simulate(jobs: &[FlowJob], order: &[usize], config: &DesConfig) -> DesResult {
+    let _span = mcdnn_obs::span("sim", "des");
+    mcdnn_obs::counter_add("des.runs", 1);
+    mcdnn_obs::counter_add("des.jobs", order.len() as u64);
     assert!(config.uplink_channels >= 1, "need at least one uplink channel");
     assert!(config.cloud_slots >= 1, "need at least one cloud slot");
     assert!((0.0..1.0).contains(&config.jitter_frac), "jitter in [0,1)");

@@ -102,6 +102,7 @@ struct InFlight {
 /// Execute `jobs` in `order` on the three-stage threaded pipeline and
 /// return completions in virtual milliseconds.
 pub fn run_pipeline(jobs: &[FlowJob], order: &[usize], config: &ExecutorConfig) -> ExecTrace {
+    let _span = mcdnn_obs::span("sim", "run_pipeline");
     let scale = match config.clock {
         ClockMode::Logical => None,
         ClockMode::WallClock { us_per_virtual_ms } => {
@@ -113,11 +114,30 @@ pub fn run_pipeline(jobs: &[FlowJob], order: &[usize], config: &ExecutorConfig) 
     let completions: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::with_capacity(order.len()));
     let start_cell: Mutex<Option<Instant>> = Mutex::new(None);
 
+    // Per-stage virtual-time histograms: how long each stage worked on
+    // a job (busy) and how long the job sat queued at the stage before
+    // service began (wait; exact in logical mode, not measured under
+    // wall clock where queueing is physical).
+    const BUSY_METRIC: [&str; 3] = [
+        "exec.mobile.busy_ms",
+        "exec.uplink.busy_ms",
+        "exec.cloud.busy_ms",
+    ];
+    const WAIT_METRIC: [&str; 3] = [
+        "exec.mobile.wait_ms",
+        "exec.uplink.wait_ms",
+        "exec.cloud.wait_ms",
+    ];
+
     // Advance one stage: in logical mode return the new clock value; in
     // wall-clock mode burn the time and return the measured instant.
-    let advance = |clock: &mut f64, ready_at: f64, duration: f64| -> f64 {
+    let advance = |stage: usize, clock: &mut f64, ready_at: f64, duration: f64| -> f64 {
+        mcdnn_obs::observe_ms(BUSY_METRIC[stage], duration);
         match scale {
             None => {
+                // The job became ready at `ready_at` but the stage was
+                // occupied until `clock`: that gap is its queue wait.
+                mcdnn_obs::observe_ms(WAIT_METRIC[stage], (*clock - ready_at).max(0.0));
                 *clock = clock.max(ready_at) + duration;
                 *clock
             }
@@ -148,7 +168,7 @@ pub fn run_pipeline(jobs: &[FlowJob], order: &[usize], config: &ExecutorConfig) 
             let mut clock = 0.0f64;
             for &idx in order {
                 let job = jobs[idx];
-                let done = advance(&mut clock, 0.0, job.compute_ms);
+                let done = advance(0, &mut clock, 0.0, job.compute_ms);
                 if job.comm_ms > 0.0 {
                     to_uplink_tx
                         .send(InFlight {
@@ -169,7 +189,7 @@ pub fn run_pipeline(jobs: &[FlowJob], order: &[usize], config: &ExecutorConfig) 
         s.spawn(move || {
             let mut clock = 0.0f64;
             for msg in to_uplink_rx.iter() {
-                let done = advance(&mut clock, msg.ready_at, msg.job.comm_ms);
+                let done = advance(1, &mut clock, msg.ready_at, msg.job.comm_ms);
                 if msg.job.cloud_ms > 0.0 {
                     to_cloud_tx
                         .send(InFlight {
@@ -190,7 +210,7 @@ pub fn run_pipeline(jobs: &[FlowJob], order: &[usize], config: &ExecutorConfig) 
         s.spawn(move || {
             let mut clock = 0.0f64;
             for msg in to_cloud_rx.iter() {
-                let done = advance(&mut clock, msg.ready_at, msg.job.cloud_ms);
+                let done = advance(2, &mut clock, msg.ready_at, msg.job.cloud_ms);
                 completions
                     .lock()
                     .expect("no stage panicked")

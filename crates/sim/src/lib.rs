@@ -36,5 +36,5 @@ pub use executor::{run_pipeline, ClockMode, ExecTrace, ExecutorConfig};
 pub use online::{run_online, BandwidthTrace, OnlineResult, ReplanPolicy};
 pub use robustness::{realized_makespans, MakespanStats};
 pub use stream::{best_cut_for_rate, saturation_rate_hz, simulate_stream, StreamConfig, StreamStats};
-pub use trace::to_chrome_trace;
+pub use trace::{schedule_trace, to_chrome_trace};
 pub use validate::{agreement_report, AgreementReport};

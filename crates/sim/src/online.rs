@@ -136,9 +136,11 @@ pub fn run_online(
     setup_ms: f64,
     policy: ReplanPolicy,
 ) -> OnlineResult {
+    let _span = mcdnn_obs::span("sim", "run_online");
     let truth = trace.realize(bursts);
     let mut burst_makespans_ms = Vec::with_capacity(bursts);
     let mut believed_mbps = Vec::with_capacity(bursts);
+    let mut prev_cuts: Option<Vec<usize>> = None;
     let mut est_rng = match policy {
         ReplanPolicy::Estimated { seed, .. } => Some(Rng::seed_from_u64(seed)),
         _ => None,
@@ -175,18 +177,29 @@ pub fn run_online(
         let true_net = NetworkModel::new(true_bw, setup_ms);
         let planned_profile =
             CostProfile::evaluate(line, mobile, &believed_net, &CloudModel::Negligible);
-        let plan = if i == 0 || policy != ReplanPolicy::Static {
-            jps_best_mix_plan(&planned_profile, jobs_per_burst)
-        } else {
-            // Static: reuse the burst-0 cut decision (recompute cheaply
-            // from burst 0's belief — identical every time).
-            let first_net = NetworkModel::new(truth[0], setup_ms);
-            let p0 = CostProfile::evaluate(line, mobile, &first_net, &CloudModel::Negligible);
-            jps_best_mix_plan(&p0, jobs_per_burst)
+        let plan = {
+            let _plan_span = mcdnn_obs::span("sim", "online_plan");
+            if i == 0 || policy != ReplanPolicy::Static {
+                jps_best_mix_plan(&planned_profile, jobs_per_burst)
+            } else {
+                // Static: reuse the burst-0 cut decision (recompute cheaply
+                // from burst 0's belief — identical every time).
+                let first_net = NetworkModel::new(truth[0], setup_ms);
+                let p0 =
+                    CostProfile::evaluate(line, mobile, &first_net, &CloudModel::Negligible);
+                jps_best_mix_plan(&p0, jobs_per_burst)
+            }
         };
+        mcdnn_obs::counter_add("online.bursts", 1);
+        // A replan event is a burst whose cut decision actually changed.
+        if prev_cuts.as_deref().is_some_and(|prev| prev != plan.cuts) {
+            mcdnn_obs::counter_add("online.replans", 1);
+        }
+        prev_cuts = Some(plan.cuts.clone());
         let true_profile =
             CostProfile::evaluate(line, mobile, &true_net, &CloudModel::Negligible);
         let paid = Plan::from_cuts(plan.strategy, &true_profile, plan.cuts.clone());
+        mcdnn_obs::observe_ms("online.burst_makespan_ms", paid.makespan_ms);
         burst_makespans_ms.push(paid.makespan_ms);
     }
     OnlineResult {

@@ -129,7 +129,20 @@ pub fn saturation_rate_hz(f_ms: f64, g_ms: f64) -> f64 {
 
 /// The streaming planner: among cuts that sustain `rate_hz` (bottleneck
 /// utilisation < `rho_limit`), pick the one with the smallest per-frame
-/// latency `f + g`. Returns `None` when no cut can keep up.
+/// latency `f + g`.
+///
+/// # `None` contract
+///
+/// Returns `None` **iff** every cut `l` fails the strict feasibility
+/// test `max(f(l), g(l)) < rho_limit * period` (with
+/// `period = 1000 / rate_hz` ms) — i.e. the requested rate is at or
+/// above `rho_limit ·` [`saturation_rate_hz`] for *every* cut. The
+/// comparison is deliberately strict: a cut whose bottleneck exactly
+/// equals the derated period runs at utilisation `rho_limit` with zero
+/// slack, so queues never drain after any perturbation. Requesting
+/// exactly the (derated) saturation rate therefore yields `None`;
+/// callers should treat `None` as "lower the frame rate or raise
+/// `rho_limit`", not as an error.
 pub fn best_cut_for_rate(profile: &CostProfile, rate_hz: f64, rho_limit: f64) -> Option<usize> {
     assert!(rate_hz > 0.0 && rho_limit > 0.0);
     let period = 1000.0 / rate_hz;
@@ -260,6 +273,25 @@ mod tests {
         assert_eq!(best_cut_for_rate(&p, 5.0, 0.9), Some(2));
         // Absurd rate: nothing keeps up.
         assert_eq!(best_cut_for_rate(&p, 1000.0, 0.9), None);
+    }
+
+    #[test]
+    fn exactly_saturation_rate_returns_none() {
+        // One non-trivial profile where every cut bottlenecks at 50 ms:
+        // saturation_rate_hz = 20 Hz at both cuts.
+        let p = CostProfile::from_vectors("s", vec![0.0, 50.0], vec![50.0, 0.0], None);
+        assert!((saturation_rate_hz(p.f(0), p.g(0)) - 20.0).abs() < 1e-12);
+        assert!((saturation_rate_hz(p.f(1), p.g(1)) - 20.0).abs() < 1e-12);
+        // Exactly the saturation rate (rho_limit = 1): utilisation would
+        // be exactly 1 with zero slack, so the strict filter rejects
+        // every cut -> None, per the documented contract.
+        assert_eq!(best_cut_for_rate(&p, 20.0, 1.0), None);
+        // Any slack at all makes the stream sustainable again.
+        assert_eq!(best_cut_for_rate(&p, 19.99, 1.0), Some(0));
+        // Derating shifts the boundary: at rho_limit = 0.9 the cutoff is
+        // 18 Hz, again excluded exactly at the boundary.
+        assert_eq!(best_cut_for_rate(&p, 18.0, 0.9), None);
+        assert_eq!(best_cut_for_rate(&p, 17.99, 0.9), Some(0));
     }
 
     #[test]

@@ -1,53 +1,49 @@
 //! Chrome-trace export: open a schedule in `chrome://tracing` /
 //! Perfetto.
 //!
-//! The trace-event format is a JSON array of complete events
-//! (`"ph": "X"`), one per stage interval, with the pipeline resources
-//! as separate "threads". Timestamps are microseconds per the format
-//! spec; one virtual millisecond maps to 1000 µs.
-
-use std::fmt::Write as _;
+//! Rendering goes through the unified [`mcdnn_obs::ChromeTrace`] writer
+//! (one JSON emitter for virtual Gantt intervals *and* real registry
+//! spans); this module only maps schedule intervals onto trace events.
+//! Timestamps are microseconds per the format spec; one virtual
+//! millisecond maps to 1000 µs.
 
 use mcdnn_flowshop::{gantt, FlowJob};
+use mcdnn_obs::{ChromeTrace, TraceEvent};
 
 /// Resource (thread) names shown in the trace viewer.
 const STAGE_NAMES: [&str; 3] = ["mobile CPU", "uplink", "cloud"];
 
-/// Render the schedule of `jobs` in `order` as a Chrome trace-event
-/// JSON document.
-pub fn to_chrome_trace(jobs: &[FlowJob], order: &[usize]) -> String {
+/// Build (without rendering) the trace of `jobs` in `order` under the
+/// given `pid`: one viewer thread per pipeline stage, one complete
+/// event per non-empty stage interval. Callers that want a combined
+/// document (e.g. the CLI's `--emit-trace`) add more rows to the
+/// returned builder before rendering.
+pub fn schedule_trace(jobs: &[FlowJob], order: &[usize], pid: u32) -> ChromeTrace {
     let g = gantt(jobs, order);
-    let mut out = String::from("[");
-    let mut first = true;
-    // Thread name metadata so the viewer labels the resources.
+    let mut trace = ChromeTrace::new();
     for (tid, name) in STAGE_NAMES.iter().enumerate() {
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        let _ = write!(
-            out,
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
-             \"args\":{{\"name\":\"{name}\"}}}}"
-        );
+        trace.thread(pid, tid as u32, *name);
     }
     for iv in &g.intervals {
         if iv.end <= iv.start {
             continue;
         }
-        let _ = write!(
-            out,
-            ",{{\"name\":\"job {}\",\"cat\":\"stage{}\",\"ph\":\"X\",\
-             \"ts\":{:.1},\"dur\":{:.1},\"pid\":1,\"tid\":{}}}",
-            iv.job,
-            iv.stage,
-            iv.start * 1000.0,
-            (iv.end - iv.start) * 1000.0,
-            iv.stage
-        );
+        trace.push(TraceEvent {
+            pid,
+            tid: iv.stage as u32,
+            name: format!("job {}", iv.job),
+            cat: format!("stage{}", iv.stage),
+            ts_us: iv.start * 1000.0,
+            dur_us: (iv.end - iv.start) * 1000.0,
+        });
     }
-    out.push(']');
-    out
+    trace
+}
+
+/// Render the schedule of `jobs` in `order` as a Chrome trace-event
+/// JSON document (thin wrapper over [`schedule_trace`]).
+pub fn to_chrome_trace(jobs: &[FlowJob], order: &[usize]) -> String {
+    schedule_trace(jobs, order, 1).to_json()
 }
 
 #[cfg(test)]
@@ -88,5 +84,23 @@ mod tests {
         let trace = to_chrome_trace(&[], &[]);
         assert_eq!(trace.matches("\"ph\":\"X\"").count(), 0);
         assert!(trace.starts_with('[') && trace.ends_with(']'));
+    }
+
+    #[test]
+    fn events_sorted_by_timestamp() {
+        let jobs = vec![
+            FlowJob::two_stage(0, 4.0, 6.0),
+            FlowJob::two_stage(1, 7.0, 2.0),
+        ];
+        let trace = to_chrome_trace(&jobs, &[0, 1]);
+        let parsed = mcdnn_obs::json::parse(&trace).expect("valid JSON");
+        let ts: Vec<f64> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
     }
 }
