@@ -14,7 +14,7 @@ use mcdnn::prelude::*;
 use mcdnn_bench::{banner, fmt_ms};
 use mcdnn_flowshop::makespan_three_stage;
 use mcdnn_graph::cluster_virtual_blocks;
-use mcdnn_partition::{brute_force_plan, jps_best_mix_plan, jps_plan};
+use mcdnn_partition::Strategy;
 use mcdnn_sim::{simulate, DesConfig};
 
 fn main() {
@@ -39,7 +39,7 @@ fn scheduling_ablation() {
     }
     let rows = mcdnn_runtime::parallel_map(&grid, |_, &(model, label, net)| {
         let s = Scenario::paper_default(model, net);
-        let plan = jps_best_mix_plan(s.profile(), 100);
+        let plan = Strategy::JpsBestMix.plan(s.profile(), 100);
         let jobs = plan.jobs(s.profile());
         let johnson = plan.makespan_ms;
         let fifo_order: Vec<usize> = (0..jobs.len()).collect();
@@ -76,9 +76,9 @@ fn partition_ablation() {
         let common = (0..=p.k())
             .map(|l| mcdnn_partition::Plan::from_cuts(Strategy::Jps, p, vec![l; n]).makespan_ms)
             .fold(f64::INFINITY, f64::min);
-        let ratio = jps_plan(p, n).makespan_ms;
-        let best = jps_best_mix_plan(p, n).makespan_ms;
-        let bf = brute_force_plan(p, n).makespan_ms;
+        let ratio = Strategy::Jps.plan(p, n).makespan_ms;
+        let best = Strategy::JpsBestMix.plan(p, n).makespan_ms;
+        let bf = Strategy::BruteForce.plan(p, n).makespan_ms;
         format!(
             "| {model} | {} | {} | {} | {} |",
             fmt_ms(common),

@@ -11,7 +11,7 @@
 
 use mcdnn::prelude::*;
 use mcdnn_bench::banner;
-use mcdnn_partition::{jps_plan, local_only_plan, partition_only_plan};
+use mcdnn_partition::Strategy;
 
 fn reductions(line: mcdnn_graph::LineDnn, net: NetworkModel, n: usize) -> (f64, f64, f64) {
     let profile = CostProfile::evaluate(
@@ -20,9 +20,9 @@ fn reductions(line: mcdnn_graph::LineDnn, net: NetworkModel, n: usize) -> (f64, 
         &net,
         &CloudModel::Device(DeviceModel::cloud_gtx1080()),
     );
-    let lo = local_only_plan(&profile, n).makespan_ms;
-    let po = partition_only_plan(&profile, n).makespan_ms;
-    let jps = jps_plan(&profile, n).makespan_ms;
+    let lo = Strategy::LocalOnly.plan(&profile, n).makespan_ms;
+    let po = Strategy::PartitionOnly.plan(&profile, n).makespan_ms;
+    let jps = Strategy::Jps.plan(&profile, n).makespan_ms;
     (
         lo,
         ((1.0 - po / lo) * 100.0).max(0.0),

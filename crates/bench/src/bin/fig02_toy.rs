@@ -5,7 +5,7 @@
 
 use mcdnn::prelude::*;
 use mcdnn_bench::banner;
-use mcdnn_partition::{brute_force_plan, Plan};
+use mcdnn_partition::{Plan, Strategy};
 
 fn main() {
     banner(
@@ -31,7 +31,7 @@ fn main() {
         let plan = Plan::from_cuts(Strategy::Jps, &profile, cuts);
         println!("| {label} | {} |", plan.makespan_ms);
     }
-    let bf = brute_force_plan(&profile, 2);
+    let bf = Strategy::BruteForce.plan(&profile, 2);
     println!("\njoint brute force: makespan {} with cuts {:?}", bf.makespan_ms, bf.cuts);
     let gantt = bf.gantt(&profile);
     println!("\nGantt of the optimum:\n{}", gantt.to_ascii(52));

@@ -9,7 +9,7 @@
 use mcdnn::prelude::*;
 use mcdnn_bench::{banner, fmt_ms};
 use mcdnn_flowshop::release::{list_schedule_with_releases, makespan_with_releases};
-use mcdnn_partition::jps_best_mix_plan;
+use mcdnn_partition::Strategy;
 
 fn main() {
     banner(
@@ -20,7 +20,7 @@ fn main() {
     let n = 30;
     let model = Model::MobileNetV2;
     let s = Scenario::paper_default(model, NetworkModel::wifi());
-    let plan = jps_best_mix_plan(s.profile(), n);
+    let plan = Strategy::JpsBestMix.plan(s.profile(), n);
     let jobs = plan.jobs(s.profile());
     let batch = plan.makespan_ms;
 

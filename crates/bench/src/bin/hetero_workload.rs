@@ -8,7 +8,7 @@
 
 use mcdnn::prelude::*;
 use mcdnn_bench::{banner, fmt_ms};
-use mcdnn_partition::{hetero_jps_plan, jps_best_mix_plan, JobGroup};
+use mcdnn_partition::{hetero_jps_plan, JobGroup, Strategy};
 
 fn main() {
     banner(
@@ -28,8 +28,8 @@ fn main() {
         for (net_label, net) in [("4G", NetworkModel::four_g()), ("Wi-Fi", NetworkModel::wifi())] {
             let s1 = Scenario::paper_default(m1, net);
             let s2 = Scenario::paper_default(m2, net);
-            let separate = jps_best_mix_plan(s1.profile(), n1).makespan_ms
-                + jps_best_mix_plan(s2.profile(), n2).makespan_ms;
+            let separate = Strategy::JpsBestMix.plan(s1.profile(), n1).makespan_ms
+                + Strategy::JpsBestMix.plan(s2.profile(), n2).makespan_ms;
             let joint = hetero_jps_plan(&[
                 JobGroup {
                     profile: s1.profile().clone(),

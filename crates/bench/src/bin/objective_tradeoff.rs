@@ -6,7 +6,7 @@
 
 use mcdnn::prelude::*;
 use mcdnn_bench::{banner, fmt_ms};
-use mcdnn_partition::{flowtime_jps_plan, jps_best_mix_plan};
+use mcdnn_partition::{flowtime_jps_plan, Strategy};
 
 fn main() {
     banner(
@@ -20,7 +20,7 @@ fn main() {
     for model in Model::EVALUATED {
         for (label, net) in [("4G", NetworkModel::four_g()), ("Wi-Fi", NetworkModel::wifi())] {
             let s = Scenario::paper_default(model, net);
-            let ms_plan = jps_best_mix_plan(s.profile(), n);
+            let ms_plan = Strategy::JpsBestMix.plan(s.profile(), n);
             let ft_plan = flowtime_jps_plan(s.profile(), n);
             println!(
                 "| {model} | {label} | makespan | {} | {} |",

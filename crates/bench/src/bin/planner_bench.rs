@@ -15,6 +15,11 @@
 //! cargo run -p mcdnn-bench --release --bin planner_bench
 //! ```
 
+// This bench measures the deprecated free functions themselves (they
+// are the implementations `Strategy::plan` dispatches to); going
+// through the enum here would time the dispatch, not the kernel.
+#![allow(deprecated)]
+
 use std::time::{Duration, Instant};
 
 use mcdnn_bench::banner;

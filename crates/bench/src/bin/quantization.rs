@@ -59,7 +59,7 @@ fn main() {
                     &CloudModel::Negligible,
                 );
                 let l_star = binary_search_cut(&profile).l_star;
-                let plan = mcdnn_partition::jps_best_mix_plan(&profile, n);
+                let plan = mcdnn_partition::Strategy::JpsBestMix.plan(&profile, n);
                 let base = *f32_span.get_or_insert(plan.makespan_ms);
                 println!(
                     "| {model} | {label} | {dtype} | {l_star} | {} | -{:.1}% |",

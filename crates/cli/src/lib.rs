@@ -87,6 +87,24 @@ impl<'a> Flags<'a> {
             .map_err(|_| err(format!("--{key} expects an integer, got '{raw}'")))
     }
 
+    fn parse_usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("--{key} expects an integer, got '{raw}'"))),
+        }
+    }
+
+    fn parse_u64_or(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("--{key} expects an integer, got '{raw}'"))),
+        }
+    }
+
     fn model(&self) -> Result<Model, CliError> {
         let raw = self.require("model")?;
         raw.parse().map_err(|e: String| err(e))
@@ -131,6 +149,8 @@ USAGE:
   mcdnn inspect --model <name>
   mcdnn stream  --model <name> --bandwidth <Mbps> --fps <rate>
   mcdnn hetero  --models <a,b,..> --counts <n1,n2,..> --bandwidth <Mbps>
+  mcdnn chaos   --model <name> --bandwidth <Mbps> [--jobs <n>] [--bursts <k>]
+                [--fps <rate>] [--rho <frac>] [--seed <s>] [--setup-ms <ms>]
   mcdnn dot     --model <name>
 
 `plan` also accepts --svg <path> (SVG Gantt chart), --trace <path>
@@ -138,6 +158,14 @@ USAGE:
 (unified Chrome trace: schedule rows plus recorded planner/executor
 spans) and --emit-metrics <path> (JSON snapshot of planner candidate
 counts and per-stage busy/wait histograms).
+
+`chaos` fault-sweeps the model: a scenario × degradation-policy grid
+(total makespan vs the oracle that knew the fault schedule), then one
+seeded random fault drill whose event log and FNV-1a digest are
+deterministic in --seed. It accepts --emit-trace <path> (Chrome trace
+of the drill: stage rows, fault windows, one flag per fault/recovery
+event) and --emit-metrics <path> (JSON snapshot including fault.* /
+degrade.* / recovery.* counters).
 ";
 
 /// Run the CLI on the given arguments (excluding the program name),
@@ -158,6 +186,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "inspect" => cmd_inspect(&flags),
         "stream" => cmd_stream(&flags),
         "hetero" => cmd_hetero(&flags),
+        "chaos" => cmd_chaos(&flags),
         "dot" => cmd_dot(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
@@ -544,7 +573,7 @@ fn cmd_hetero(flags: &Flags) -> Result<String, CliError> {
     let joint = mcdnn_partition::hetero_jps_plan(&groups);
     let separate: f64 = groups
         .iter()
-        .map(|g| mcdnn_partition::jps_best_mix_plan(&g.profile, g.count).makespan_ms)
+        .map(|g| Strategy::JpsBestMix.plan(&g.profile, g.count).makespan_ms)
         .sum();
     let mut out = String::new();
     let _ = writeln!(out, "heterogeneous batch at {bandwidth} Mbps:");
@@ -558,6 +587,58 @@ fn cmd_hetero(flags: &Flags) -> Result<String, CliError> {
         separate,
         (1.0 - joint.makespan_ms / separate) * 100.0
     );
+    Ok(out)
+}
+
+fn cmd_chaos(flags: &Flags) -> Result<String, CliError> {
+    let (model, s) = scenario(flags)?;
+    let config = ChaosConfig {
+        jobs_per_burst: flags.parse_usize_or("jobs", 6)?,
+        bursts: flags.parse_usize_or("bursts", 9)?,
+        target_hz: flags.parse_f64_or("fps", 20.0)?,
+        rho_limit: flags.parse_f64_or("rho", 0.9)?,
+        seed: flags.parse_u64_or("seed", 7)?,
+        ..ChaosConfig::default()
+    };
+    if config.bursts < 3 {
+        return Err(err("--bursts must be at least 3"));
+    }
+    if config.target_hz <= 0.0 {
+        return Err(err("--fps must be positive"));
+    }
+    if !(0.0..=1.0).contains(&config.rho_limit) || config.rho_limit == 0.0 {
+        return Err(err("--rho must be in (0, 1]"));
+    }
+    let emit_trace = flags.get("emit-trace");
+    let emit_metrics = flags.get("emit-metrics");
+    if emit_metrics.is_some() {
+        mcdnn_obs::set_enabled(true);
+        mcdnn_obs::reset();
+    }
+    let report = chaos_report(&s, &config);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{model} at {} Mbps, {} jobs/burst, target {} fps\n",
+        s.network().bandwidth_mbps,
+        config.jobs_per_burst,
+        config.target_hz
+    );
+    out.push_str(&report.render());
+    if let Some(path) = emit_trace {
+        let trace = mcdnn_sim::faulted_trace(&report.drill.result, &report.drill.plan, 1);
+        std::fs::write(path, trace.to_json()).map_err(|e| err(format!("writing {path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "wrote drill Chrome trace to {path} (stage rows, fault windows, event flags; \
+             open in Perfetto)"
+        );
+    }
+    if let Some(path) = emit_metrics {
+        std::fs::write(path, mcdnn_obs::snapshot().to_json())
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "wrote metrics snapshot to {path}");
+    }
     Ok(out)
 }
 
@@ -836,6 +917,76 @@ mod tests {
             "hetero", "--models", "alexnet", "--counts", "1,2", "--bandwidth", "10"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn chaos_reports_grid_and_digest() {
+        let out = run_str(&[
+            "chaos", "--model", "alexnet", "--bandwidth", "18.88", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("chaos grid"), "{out}");
+        for scenario in ["steady", "blackout_mid", "dead_link"] {
+            assert!(out.contains(scenario), "missing scenario {scenario}");
+        }
+        for policy in ["frozen", "ladder", "lagged-ladder", "mobile-only"] {
+            assert!(out.contains(policy), "missing policy {policy}");
+        }
+        assert!(out.contains("vs_oracle"));
+        assert!(out.contains("digest="));
+    }
+
+    #[test]
+    fn chaos_output_is_deterministic_per_seed() {
+        let args = [
+            "chaos", "--model", "mobilenet_v2", "--bandwidth", "10", "--jobs", "4",
+            "--bursts", "6", "--seed", "1234",
+        ];
+        let a = run_str(&args).unwrap();
+        let b = run_str(&args).unwrap();
+        assert_eq!(a, b, "same seed must produce byte-identical output");
+        let mut other = args;
+        other[other.len() - 1] = "1235";
+        assert_ne!(a, run_str(&other).unwrap(), "seed must matter");
+    }
+
+    #[test]
+    fn chaos_emit_trace_writes_fault_rows() {
+        let dir = std::env::temp_dir().join("mcdnn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("chaos.trace.json");
+        let out = run_str(&[
+            "chaos", "--model", "alexnet", "--bandwidth", "18.88", "--seed", "7",
+            "--emit-trace", trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("drill Chrome trace"));
+        let doc = std::fs::read_to_string(&trace).unwrap();
+        let parsed = mcdnn_obs::json::parse(&doc).expect("trace is valid JSON");
+        assert!(!parsed.as_array().unwrap().is_empty());
+        assert!(doc.contains("\"name\":\"faults\""), "fault row named");
+    }
+
+    #[test]
+    fn chaos_rejects_bad_flags() {
+        assert!(run_str(&[
+            "chaos", "--model", "alexnet", "--bandwidth", "10", "--bursts", "2"
+        ])
+        .unwrap_err()
+        .0
+        .contains("--bursts"));
+        assert!(run_str(&[
+            "chaos", "--model", "alexnet", "--bandwidth", "10", "--fps", "-1"
+        ])
+        .unwrap_err()
+        .0
+        .contains("--fps"));
+        assert!(run_str(&[
+            "chaos", "--model", "alexnet", "--bandwidth", "10", "--rho", "1.5"
+        ])
+        .unwrap_err()
+        .0
+        .contains("--rho"));
     }
 
     #[test]

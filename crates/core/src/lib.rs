@@ -37,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiment;
 pub mod robust;
 pub mod scenario;
 
+pub use chaos::{chaos_report, ChaosConfig, ChaosReport};
 pub use robust::{robust_jps_plan, RobustPlan};
 pub use scenario::{Scenario, TimedPlan};
 
@@ -53,6 +55,7 @@ pub use mcdnn_sim as sim;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::chaos::{chaos_report, ChaosConfig, ChaosReport};
     pub use crate::experiment;
     pub use crate::scenario::{Scenario, TimedPlan};
     pub use mcdnn_flowshop::{johnson_order, makespan, FlowJob};

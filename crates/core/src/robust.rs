@@ -67,7 +67,7 @@ pub fn robust_jps_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcdnn_partition::jps_best_mix_plan;
+    use mcdnn_partition::Strategy;
 
     fn profile() -> CostProfile {
         CostProfile::from_vectors(
@@ -82,7 +82,7 @@ mod tests {
     fn zero_jitter_recovers_nominal_choice() {
         let p = profile();
         let robust = robust_jps_plan(&p, 12, 0.0, 1, 7);
-        let nominal = jps_best_mix_plan(&p, 12);
+        let nominal = Strategy::JpsBestMix.plan(&p, 12);
         assert!((robust.mean_ms - robust.plan.makespan_ms).abs() < 1e-9);
         // Candidate families coincide for this n, so so do the optima.
         assert!((robust.plan.makespan_ms - nominal.makespan_ms).abs() < 1e-6);
@@ -96,7 +96,7 @@ mod tests {
         let p = profile();
         let jitter = 0.3;
         let robust = robust_jps_plan(&p, 12, jitter, 60, 11);
-        let nominal = jps_best_mix_plan(&p, 12);
+        let nominal = Strategy::JpsBestMix.plan(&p, 12);
         let nominal_realised = realized_makespans(
             &nominal.jobs(&p),
             &nominal.order,

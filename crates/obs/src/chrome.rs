@@ -33,11 +33,28 @@ pub struct TraceEvent {
     pub dur_us: f64,
 }
 
+/// One instant ("i") trace event — a zero-duration mark rendered as a
+/// flag in the viewer (thread-scoped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantEvent {
+    /// Process id.
+    pub pid: u32,
+    /// Thread id within the process.
+    pub tid: u32,
+    /// Mark label.
+    pub name: String,
+    /// Category (filterable in the viewer).
+    pub cat: String,
+    /// Timestamp, µs.
+    pub ts_us: f64,
+}
+
 /// Builder for one trace document.
 #[derive(Debug, Clone, Default)]
 pub struct ChromeTrace {
     threads: Vec<(u32, u32, String)>,
     events: Vec<TraceEvent>,
+    instants: Vec<InstantEvent>,
 }
 
 impl ChromeTrace {
@@ -67,6 +84,17 @@ impl ChromeTrace {
         self.events.is_empty()
     }
 
+    /// Append one instant mark (rendered as a flag at its timestamp —
+    /// fault injections, recovery points, phase boundaries).
+    pub fn mark(&mut self, event: InstantEvent) {
+        self.instants.push(event);
+    }
+
+    /// Number of instant marks so far.
+    pub fn mark_count(&self) -> usize {
+        self.instants.len()
+    }
+
     /// Add registry spans under `pid`, assigning one tid per distinct
     /// span category (tids allocated in first-seen order) and naming
     /// each row after the category.
@@ -93,16 +121,28 @@ impl ChromeTrace {
         }
     }
 
-    /// Render the trace document. Complete events are sorted by start
-    /// timestamp (then pid/tid), so `ts` is monotone over the array —
-    /// the property the round-trip tests pin.
+    /// Render the trace document. Complete events and instant marks
+    /// are merged and sorted by timestamp (then pid/tid), so `ts` is
+    /// monotone over the array — the property the round-trip tests pin.
     pub fn to_json(&self) -> String {
-        let mut events: Vec<&TraceEvent> = self.events.iter().collect();
+        enum Ev<'a> {
+            X(&'a TraceEvent),
+            I(&'a InstantEvent),
+        }
+        let mut events: Vec<Ev<'_>> = self
+            .events
+            .iter()
+            .map(Ev::X)
+            .chain(self.instants.iter().map(Ev::I))
+            .collect();
+        let key = |e: &Ev<'_>| match e {
+            Ev::X(x) => (x.ts_us, x.pid, x.tid),
+            Ev::I(i) => (i.ts_us, i.pid, i.tid),
+        };
         events.sort_by(|a, b| {
-            a.ts_us
-                .total_cmp(&b.ts_us)
-                .then(a.pid.cmp(&b.pid))
-                .then(a.tid.cmp(&b.tid))
+            let (ta, pa, ia) = key(a);
+            let (tb, pb, ib) = key(b);
+            ta.total_cmp(&tb).then(pa.cmp(&pb)).then(ia.cmp(&ib))
         });
         let mut out = String::from("[");
         let mut first = true;
@@ -123,17 +163,33 @@ impl ChromeTrace {
                 out.push(',');
             }
             first = false;
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\
-                 \"ts\":{:.1},\"dur\":{:.1},\"pid\":{},\"tid\":{}}}",
-                escape(&ev.name),
-                escape(&ev.cat),
-                ev.ts_us,
-                ev.dur_us,
-                ev.pid,
-                ev.tid
-            );
+            match ev {
+                Ev::X(ev) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\
+                         \"ts\":{:.1},\"dur\":{:.1},\"pid\":{},\"tid\":{}}}",
+                        escape(&ev.name),
+                        escape(&ev.cat),
+                        ev.ts_us,
+                        ev.dur_us,
+                        ev.pid,
+                        ev.tid
+                    );
+                }
+                Ev::I(ev) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"ts\":{:.1},\"pid\":{},\"tid\":{}}}",
+                        escape(&ev.name),
+                        escape(&ev.cat),
+                        ev.ts_us,
+                        ev.pid,
+                        ev.tid
+                    );
+                }
+            }
         }
         out.push(']');
         out
@@ -225,6 +281,30 @@ mod tests {
             .map(|e| e.get("tid").unwrap().as_f64().unwrap())
             .collect();
         assert_eq!(planner_tids, vec![0.0, 0.0], "same category, same tid");
+    }
+
+    #[test]
+    fn instant_marks_interleave_sorted_with_complete_events() {
+        let mut t = ChromeTrace::new();
+        t.thread(1, 0, "cpu");
+        t.push(ev(0, "work", 0.0, 20.0));
+        t.mark(InstantEvent {
+            pid: 1,
+            tid: 0,
+            name: "fault: blackout".to_string(),
+            cat: "fault".to_string(),
+            ts_us: 10.0,
+        });
+        assert_eq!(t.mark_count(), 1);
+        let doc = t.to_json();
+        let parsed = json::parse(&doc).expect("valid JSON with instants");
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(arr[2].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(arr[2].get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(arr[2].get("ts").unwrap().as_f64(), Some(10.0));
+        assert!(arr[2].get("dur").is_none(), "instants carry no duration");
     }
 
     #[test]

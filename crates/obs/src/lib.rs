@@ -45,7 +45,7 @@ pub mod json;
 pub mod registry;
 pub mod span;
 
-pub use chrome::{ChromeTrace, TraceEvent};
+pub use chrome::{ChromeTrace, InstantEvent, TraceEvent};
 pub use hist::Histogram;
 pub use registry::{
     counter_add, counter_value, drain_spans, enabled, observe_ms, reset, set_enabled, snapshot,

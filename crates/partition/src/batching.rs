@@ -18,7 +18,7 @@
 
 use mcdnn_profile::CostProfile;
 
-use crate::jps::jps_best_mix_plan;
+use crate::plan::Strategy;
 
 /// Evaluation of one batch size.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,7 +47,7 @@ pub fn evaluate_batch(
     assert!(b >= 1, "batch size must be >= 1");
     assert!(period_ms > 0.0, "period must be positive");
     assert!(setup_ms >= 0.0, "setup cannot be negative");
-    let plan = jps_best_mix_plan(profile, b);
+    let plan = Strategy::JpsBestMix.plan(profile, b);
     let mut jobs = plan.jobs(profile);
     // Amortise the channel setup: every offloading job after the first
     // in processing order reuses the batch's connection.

@@ -15,6 +15,7 @@ use mcdnn_flowshop::{makespan_three_stage, FlowJob};
 use mcdnn_profile::CostProfile;
 
 use crate::alg2::binary_search_cut;
+use crate::plan::Strategy;
 
 /// A three-stage plan.
 #[derive(Debug, Clone)]
@@ -149,7 +150,7 @@ pub fn edge_jps_plan(profile: &CostProfile, n: usize) -> EdgePlan {
 /// pay the real three-stage cost. Quantifies what ignoring a slow cloud
 /// costs.
 pub fn two_stage_blind_plan(profile: &CostProfile, n: usize) -> EdgePlan {
-    let plan2 = crate::jps::jps_best_mix_plan(profile, n);
+    let plan2 = Strategy::JpsBestMix.plan(profile, n);
     let jobs = edge_jobs(profile, &plan2.cuts);
     let makespan_ms = makespan_three_stage(&jobs, &plan2.order);
     EdgePlan {
@@ -236,7 +237,7 @@ mod tests {
             None,
         );
         let aware = edge_jps_plan(&p, 10);
-        let two = crate::jps::jps_best_mix_plan(&p, 10);
+        let two = Strategy::JpsBestMix.plan(&p, 10);
         assert!((aware.makespan_ms - two.makespan_ms).abs() < 1e-9);
     }
 

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn front_contains_the_jps_optimum() {
         let p = profile();
-        let jps = crate::jps::jps_best_mix_plan(&p, 10);
+        let jps = Strategy::JpsBestMix.plan(&p, 10);
         let front = pareto_front(&p, 10, &energy());
         let fastest = &front[0];
         assert!(

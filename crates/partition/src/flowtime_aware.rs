@@ -76,7 +76,6 @@ pub fn flowtime_jps_plan(profile: &CostProfile, n: usize) -> FlowtimePlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::jps::jps_best_mix_plan;
 
     fn profile() -> CostProfile {
         CostProfile::from_vectors(
@@ -92,7 +91,7 @@ mod tests {
         let p = profile();
         for n in [1usize, 5, 12, 30] {
             let ft = flowtime_jps_plan(&p, n);
-            let ms = jps_best_mix_plan(&p, n);
+            let ms = crate::Strategy::JpsBestMix.plan(&p, n);
             let ms_mean = ms.average_completion_ms(&p);
             assert!(
                 ft.mean_completion_ms <= ms_mean + 1e-6,
@@ -109,7 +108,7 @@ mod tests {
         let p = profile();
         for n in [3usize, 10] {
             let ft = flowtime_jps_plan(&p, n);
-            let ms = jps_best_mix_plan(&p, n);
+            let ms = crate::Strategy::JpsBestMix.plan(&p, n);
             assert!(ft.plan.makespan_ms >= ms.makespan_ms - 1e-9);
         }
     }

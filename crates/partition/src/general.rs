@@ -23,7 +23,6 @@ use mcdnn_graph::{
 use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, NetworkModel};
 
 use crate::alg2::binary_search_cut;
-use crate::jps::jps_best_mix_plan;
 use crate::plan::{Plan, Strategy};
 
 /// Result of planning a general-structure DNN.
@@ -272,7 +271,7 @@ pub fn general_jps_plan(
     let (clustered, _) = cluster_virtual_blocks(&collapsed);
     let line_profile =
         CostProfile::evaluate(&clustered, mobile, network, &CloudModel::Negligible);
-    let line_plan = jps_best_mix_plan(&line_profile, n);
+    let line_plan = Strategy::JpsBestMix.plan(&line_profile, n);
 
     // Multi-path partition (Alg. 3 proper); per-segment refinement when
     // global path enumeration is infeasible.

@@ -374,7 +374,7 @@ mod tests {
             count: 6,
         }];
         let hetero = hetero_jps_plan(&groups);
-        let homo = crate::jps::jps_best_mix_plan(&p, 6);
+        let homo = crate::Strategy::JpsBestMix.plan(&p, 6);
         // Same candidate family (uniform cuts + adjacent mixes): within
         // the mix-count granularity of the hetero candidates.
         assert!(
@@ -394,7 +394,7 @@ mod tests {
         let joint = hetero_jps_plan(&groups);
         let separate: f64 = groups
             .iter()
-            .map(|g| crate::jps::jps_best_mix_plan(&g.profile, g.count).makespan_ms)
+            .map(|g| crate::Strategy::JpsBestMix.plan(&g.profile, g.count).makespan_ms)
             .sum();
         assert!(
             joint.makespan_ms <= separate + 1e-9,

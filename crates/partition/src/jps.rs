@@ -177,13 +177,12 @@ fn best_jps_candidate(
 /// winner is materialized, so the whole search is O(k + n) with exactly
 /// one allocation of the cut vector.
 ///
-/// New code should call
+/// This free function is deprecated; call
 /// [`Strategy::plan`]/[`Strategy::try_plan`](crate::Strategy::try_plan)
-/// (`Strategy::Jps`) instead; this free function is bound for
-/// deprecation once downstream callers migrate.
+/// (`Strategy::Jps`) instead:
 ///
 /// ```
-/// use mcdnn_partition::{jps_plan, local_only_plan};
+/// use mcdnn_partition::Strategy;
 /// use mcdnn_profile::CostProfile;
 ///
 /// let profile = CostProfile::from_vectors(
@@ -192,11 +191,12 @@ fn best_jps_candidate(
 ///     vec![99.0, 6.0, 2.0, 0.0],
 ///     None,
 /// );
-/// let jps = jps_plan(&profile, 10);
-/// let lo = local_only_plan(&profile, 10);
+/// let jps = Strategy::Jps.plan(&profile, 10);
+/// let lo = Strategy::LocalOnly.plan(&profile, 10);
 /// assert!(jps.makespan_ms < lo.makespan_ms);
 /// assert_eq!(jps.cuts.len(), 10);
 /// ```
+#[deprecated(since = "0.1.0", note = "use Strategy::Jps.plan(profile, n) instead")]
 pub fn jps_plan(profile: &CostProfile, n: usize) -> Plan {
     let _span = mcdnn_obs::span("planner", "jps_plan");
     let search = binary_search_cut(profile);
@@ -213,10 +213,10 @@ pub fn jps_plan(profile: &CostProfile, n: usize) -> Plan {
 /// total (it was O(n² log n) when each mix built and sorted its own job
 /// vector) and still never worse than the ratio plan.
 ///
-/// New code should call
+/// This free function is deprecated; call
 /// [`Strategy::plan`]/[`Strategy::try_plan`](crate::Strategy::try_plan)
-/// (`Strategy::JpsBestMix`) instead; this free function is bound for
-/// deprecation once downstream callers migrate.
+/// (`Strategy::JpsBestMix`) instead.
+#[deprecated(since = "0.1.0", note = "use Strategy::JpsBestMix.plan(profile, n) instead")]
 pub fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
     let _span = mcdnn_obs::span("planner", "jps_best_mix_plan");
     let search = binary_search_cut(profile);
@@ -239,6 +239,9 @@ pub fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
 }
 
 #[cfg(test)]
+// The defining module's own tests keep exercising the deprecated entry
+// points directly — they are the implementation under test.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

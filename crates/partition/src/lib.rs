@@ -42,10 +42,11 @@ pub mod plan;
 pub mod reference;
 
 pub use alg2::{binary_search_cut, mixing_ratio, CutSearch};
-// The free planner functions below remain supported for scripts and
-// tests, but new code should prefer `Strategy::plan`/`Strategy::try_plan`
-// — the enum surface is the one that will keep growing; the free
-// functions are bound for deprecation once downstream callers migrate.
+// The deprecated free planner functions stay re-exported so existing
+// scripts keep compiling (with a warning); new code goes through
+// `Strategy::plan`/`Strategy::try_plan` — the enum surface is the one
+// that will keep growing.
+#[allow(deprecated)]
 pub use baselines::{brute_force_plan, cloud_only_plan, local_only_plan, partition_only_plan};
 pub use error::{ParseStrategyError, PlanError};
 pub use batching::{best_batch_size, evaluate_batch, BatchChoice};
@@ -57,6 +58,7 @@ pub use energy_aware::{min_energy_plan, min_latency_plan, pareto_front, EnergyPo
 pub use flowtime_aware::{flowtime_jps_plan, FlowtimePlan};
 pub use general::{general_jps_plan, multipath_cuts, GeneralPlan};
 pub use heterogeneous::{hetero_brute_force, hetero_jps_plan, HeteroPlan, JobGroup};
+#[allow(deprecated)]
 pub use jps::{jps_best_mix_plan, jps_plan};
 pub use multichannel::{makespan_multichannel, multichannel_jps_plan};
 pub use plan::{Plan, Strategy};

@@ -118,7 +118,7 @@ mod tests {
     #[test]
     fn one_channel_matches_flowshop_recurrence() {
         let p = profile();
-        let plan = crate::jps::jps_best_mix_plan(&p, 10);
+        let plan = crate::Strategy::JpsBestMix.plan(&p, 10);
         let jobs = plan.jobs(&p);
         assert!(
             (makespan_multichannel(&jobs, &plan.order, 1) - makespan(&jobs, &plan.order)).abs()
@@ -163,7 +163,7 @@ mod tests {
         // plan evaluated on ONE channel.
         let p = profile();
         let n = 20;
-        let single = crate::jps::jps_best_mix_plan(&p, n);
+        let single = crate::Strategy::JpsBestMix.plan(&p, n);
         let multi = multichannel_jps_plan(&p, n, 2);
         assert!(multi.makespan_ms <= single.makespan_ms + 1e-9);
         // And the 2-channel evaluation of the dedicated plan is valid.

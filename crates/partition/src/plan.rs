@@ -57,6 +57,9 @@ impl Strategy {
     /// [`Strategy::try_plan`] when failures must reach the caller as
     /// values.
     pub fn plan(self, profile: &CostProfile, n: usize) -> Plan {
+        // This dispatch is the one sanctioned caller of the deprecated
+        // free functions — they remain the implementations.
+        #[allow(deprecated)]
         match self {
             Strategy::LocalOnly => crate::baselines::local_only_plan(profile, n),
             Strategy::CloudOnly => crate::baselines::cloud_only_plan(profile, n),
@@ -295,6 +298,8 @@ mod tests {
     }
 
     #[test]
+    // This equivalence test is exactly about the deprecated functions.
+    #[allow(deprecated)]
     fn strategy_plan_matches_free_functions() {
         let p = profile();
         for (s, free) in [

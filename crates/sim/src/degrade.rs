@@ -1,0 +1,443 @@
+//! The graceful-degradation ladder for the online streaming loop.
+//!
+//! When the uplink degrades, the planner walks down a ladder instead of
+//! failing:
+//!
+//! 1. **Replan at the new rate** — re-run
+//!    [`best_cut_for_rate`](crate::stream::best_cut_for_rate) against
+//!    the *effective* profile (`g / factor`): the link is slower, but a
+//!    feasible cut may still exist.
+//! 2. **Shift the cut toward mobile** — when no cut sustains the target
+//!    rate (`best_cut_for_rate` returns `None`, its documented
+//!    contract), pick the cut minimising the bottleneck
+//!    `max(f, g_eff)`: the stream runs saturated but drains as fast as
+//!    any partition can.
+//! 3. **Mobile-only fallback** — when even the shifted cut's makespan
+//!    would exceed running everything on-device (or the link is fully
+//!    dead), cut at `k`: `g(k) = 0`, the pipeline no longer touches the
+//!    network at all.
+//!
+//! The ladder carries a guarantee the chaos tests pin: because cut `k`
+//! is always a candidate and rung 3 explicitly compares against it, the
+//! per-burst makespan under the ladder **never exceeds the mobile-only
+//! baseline** `n · f(k)`, for every rate factor in `[0, 1]`.
+//!
+//! [`run_degraded`] replays a piecewise-constant fault timeline (one
+//! rate factor per burst) under a [`DegradePolicy`] and prices each
+//! burst with the O(1) uniform-makespan kernel, so whole chaos grids
+//! stay cheap.
+
+use mcdnn_flowshop::uniform_makespan;
+use mcdnn_profile::CostProfile;
+
+use crate::fault::RetryPolicy;
+
+/// Which rung of the degradation ladder a decision landed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderLevel {
+    /// The nominal-rate cut still sustains the target rate.
+    Normal,
+    /// A different cut sustains the target rate at the degraded link.
+    Replanned,
+    /// No cut sustains the rate; the bottleneck-minimising cut runs
+    /// saturated.
+    Shifted,
+    /// Everything on-device: the link is dead or not worth using.
+    MobileOnly,
+}
+
+impl std::fmt::Display for LadderLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LadderLevel::Normal => "normal",
+            LadderLevel::Replanned => "replanned",
+            LadderLevel::Shifted => "shifted",
+            LadderLevel::MobileOnly => "mobile-only",
+        })
+    }
+}
+
+/// One ladder decision: the rung taken and the cut chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderDecision {
+    /// Rung of the ladder.
+    pub level: LadderLevel,
+    /// Chosen cut layer.
+    pub cut: usize,
+}
+
+/// Walk the degradation ladder for one observed uplink `rate_factor`.
+///
+/// `rate_factor` is the remaining fraction of the nominal link rate
+/// (1.0 = healthy, 0.0 = blackout). `n_jobs` sizes the makespan guard
+/// of rung 3: a shifted cut is only kept when its uniform makespan for
+/// the burst beats computing everything on-device.
+pub fn ladder_decision(
+    profile: &CostProfile,
+    target_hz: f64,
+    rho_limit: f64,
+    rate_factor: f64,
+    n_jobs: usize,
+) -> LadderDecision {
+    assert!(target_hz > 0.0 && rho_limit > 0.0);
+    assert!((0.0..=1.0).contains(&rate_factor), "factor in [0, 1]");
+    assert!(n_jobs >= 1, "need at least one job per burst");
+    let k = profile.k();
+    if rate_factor <= 0.0 {
+        // Dead link: nothing with g > 0 can ever finish. Straight to
+        // the bottom rung without consulting the planner.
+        mcdnn_obs::counter_add("degrade.mobile_only", 1);
+        return LadderDecision {
+            level: LadderLevel::MobileOnly,
+            cut: k,
+        };
+    }
+    let g_eff = |l: usize| profile.g(l) / rate_factor;
+    let effective = CostProfile::from_vectors(
+        profile.name().to_string(),
+        (0..=k).map(|l| profile.f(l)).collect(),
+        (0..=k).map(g_eff).collect(),
+        None,
+    );
+    let candidate = match crate::stream::best_cut_for_rate(&effective, target_hz, rho_limit) {
+        // Rung 1: a feasible cut exists at the degraded rate.
+        Some(cut) => {
+            let nominal = crate::stream::best_cut_for_rate(profile, target_hz, rho_limit);
+            let level = if rate_factor >= 1.0 || nominal == Some(cut) {
+                LadderLevel::Normal
+            } else {
+                LadderLevel::Replanned
+            };
+            LadderDecision { level, cut }
+        }
+        // Rung 2: nothing sustains the rate — minimise the bottleneck,
+        // breaking ties toward mobile (larger cut, less link use).
+        None => {
+            let shifted = (0..=k)
+                .min_by(|&a, &b| {
+                    let ba = profile.f(a).max(g_eff(a));
+                    let bb = profile.f(b).max(g_eff(b));
+                    ba.total_cmp(&bb).then(b.cmp(&a))
+                })
+                .expect("profiles are non-empty");
+            LadderDecision {
+                level: LadderLevel::Shifted,
+                cut: shifted,
+            }
+        }
+    };
+    // Rung 3 guard, applied to *every* candidate: cut k is always
+    // available at n·f(k), so the ladder never commits to a burst that
+    // loses to computing everything on-device. This is what makes the
+    // mobile-only dominance guarantee unconditional.
+    let n = n_jobs as f64;
+    let span = uniform_makespan(n_jobs, profile.f(candidate.cut), g_eff(candidate.cut));
+    if span <= n * profile.f(k) {
+        mcdnn_obs::counter_add(
+            match candidate.level {
+                LadderLevel::Normal => "degrade.normal",
+                LadderLevel::Replanned => "degrade.replans",
+                _ => "degrade.shifts",
+            },
+            1,
+        );
+        candidate
+    } else {
+        mcdnn_obs::counter_add("degrade.mobile_only", 1);
+        LadderDecision {
+            level: LadderLevel::MobileOnly,
+            cut: k,
+        }
+    }
+}
+
+/// How the online loop reacts to link degradation in [`run_degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Keep the cut chosen under a healthy link, whatever happens.
+    Frozen,
+    /// Walk the ladder with the *current* burst's true rate factor —
+    /// this is also the oracle: it reacts instantly, as if it knew the
+    /// fault schedule in advance.
+    Ladder,
+    /// Walk the ladder with the *previous* burst's factor: detection
+    /// lags reality by one burst, the realistic estimator.
+    LaggedLadder,
+    /// Always compute everything on-device.
+    MobileOnly,
+}
+
+impl std::fmt::Display for DegradePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradePolicy::Frozen => "frozen",
+            DegradePolicy::Ladder => "ladder",
+            DegradePolicy::LaggedLadder => "lagged-ladder",
+            DegradePolicy::MobileOnly => "mobile-only",
+        })
+    }
+}
+
+/// One burst of a degraded run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstRecord {
+    /// Burst index.
+    pub burst: usize,
+    /// True link rate factor during the burst.
+    pub factor: f64,
+    /// Ladder rung of the decision taken (the *believed* rung under
+    /// [`DegradePolicy::LaggedLadder`]).
+    pub level: LadderLevel,
+    /// Cut the burst actually ran with.
+    pub cut: usize,
+    /// Realised burst makespan, ms.
+    pub makespan_ms: f64,
+}
+
+/// Outcome of [`run_degraded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedRun {
+    /// Per-burst decisions and realised makespans.
+    pub bursts: Vec<BurstRecord>,
+    /// Sum of burst makespans, ms.
+    pub total_ms: f64,
+}
+
+/// Price one burst that *commits* to `cut` while the true factor is
+/// `factor`. A cut with `g > 0` under a blackout burns the full retry
+/// budget per the policy, then finishes every job on-device.
+fn burst_cost(
+    profile: &CostProfile,
+    cut: usize,
+    factor: f64,
+    n: usize,
+    retry: &RetryPolicy,
+) -> f64 {
+    let k = profile.k();
+    let g = profile.g(cut);
+    if g <= 0.0 {
+        return n as f64 * profile.f(cut);
+    }
+    if factor <= 0.0 {
+        // Blackout with offloading committed: attempts all time out,
+        // then the remaining layers of every job run on-device.
+        mcdnn_obs::counter_add("fault.local_fallbacks", n as u64);
+        return retry.exhaustion_penalty_ms()
+            + n as f64 * profile.f(cut)
+            + n as f64 * (profile.f(k) - profile.f(cut));
+    }
+    uniform_makespan(n, profile.f(cut), g / factor)
+}
+
+/// Replay a fault timeline (`factors[i]` = true link rate factor of
+/// burst `i`, each burst `jobs_per_burst` homogeneous jobs) under
+/// `policy` and return per-burst records plus the summed makespan.
+///
+/// [`DegradePolicy::Ladder`] doubles as the oracle baseline: the chaos
+/// grid reports every policy's total relative to it.
+pub fn run_degraded(
+    profile: &CostProfile,
+    factors: &[f64],
+    jobs_per_burst: usize,
+    target_hz: f64,
+    rho_limit: f64,
+    retry: &RetryPolicy,
+    policy: DegradePolicy,
+) -> DegradedRun {
+    let _span = mcdnn_obs::span("sim", "run_degraded");
+    assert!(jobs_per_burst >= 1, "need at least one job per burst");
+    let k = profile.k();
+    let n = jobs_per_burst;
+    let frozen_cut = ladder_decision(profile, target_hz, rho_limit, 1.0, n).cut;
+    let mut bursts = Vec::with_capacity(factors.len());
+    let mut total = 0.0f64;
+    let mut prev_level = LadderLevel::Normal;
+    for (i, &factor) in factors.iter().enumerate() {
+        let (level, cut) = match policy {
+            DegradePolicy::Frozen => (
+                ladder_decision(profile, target_hz, rho_limit, factor.clamp(0.0, 1.0), n).level,
+                frozen_cut,
+            ),
+            DegradePolicy::Ladder => {
+                let d = ladder_decision(profile, target_hz, rho_limit, factor.clamp(0.0, 1.0), n);
+                (d.level, d.cut)
+            }
+            DegradePolicy::LaggedLadder => {
+                let believed = if i == 0 { 1.0 } else { factors[i - 1] };
+                let d =
+                    ladder_decision(profile, target_hz, rho_limit, believed.clamp(0.0, 1.0), n);
+                (d.level, d.cut)
+            }
+            DegradePolicy::MobileOnly => (LadderLevel::MobileOnly, k),
+        };
+        if prev_level != LadderLevel::Normal && level == LadderLevel::Normal {
+            mcdnn_obs::counter_add("degrade.recoveries", 1);
+        }
+        prev_level = level;
+        let makespan_ms = burst_cost(profile, cut, factor, n, retry);
+        total += makespan_ms;
+        bursts.push(BurstRecord {
+            burst: i,
+            factor,
+            level,
+            cut,
+            makespan_ms,
+        });
+    }
+    DegradedRun {
+        bursts,
+        total_ms: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> CostProfile {
+        CostProfile::from_vectors(
+            "ladder-test",
+            vec![0.0, 10.0, 40.0, 120.0],
+            vec![200.0, 60.0, 20.0, 0.0],
+            None,
+        )
+    }
+
+    #[test]
+    fn healthy_link_stays_normal() {
+        let p = profile();
+        let d = ladder_decision(&p, 20.0, 0.9, 1.0, 10);
+        assert_eq!(d.level, LadderLevel::Normal);
+        assert_eq!(d.cut, 2, "matches best_cut_for_rate at nominal rate");
+    }
+
+    #[test]
+    fn mild_collapse_replans_toward_mobile() {
+        let p = profile();
+        // At factor 0.5 cut 2's g_eff = 40 < 45 still feasible; its
+        // latency (80) still beats anything else feasible.
+        let d = ladder_decision(&p, 20.0, 0.9, 0.5, 10);
+        assert!(matches!(
+            d.level,
+            LadderLevel::Normal | LadderLevel::Replanned
+        ));
+        assert_eq!(d.cut, 2);
+        // Deep collapse: g_eff(2) = 200 infeasible, no cut sustains
+        // 20 Hz; bottleneck argmin over max(f, g_eff):
+        // cut 3 has max(120, 0) = 120, cut 2 max(40, 200) — shift picks 3.
+        let deep = ladder_decision(&p, 20.0, 0.9, 0.1, 10);
+        assert_eq!(deep.cut, 3);
+    }
+
+    #[test]
+    fn dead_link_goes_mobile_only() {
+        let p = profile();
+        let d = ladder_decision(&p, 20.0, 0.9, 0.0, 10);
+        assert_eq!(d.level, LadderLevel::MobileOnly);
+        assert_eq!(d.cut, p.k());
+    }
+
+    #[test]
+    fn infeasible_rate_exercises_none_contract_then_shifts() {
+        let p = profile();
+        // 1000 Hz: nothing sustains it even at factor 1.0 —
+        // best_cut_for_rate is None and the ladder must still answer.
+        let d = ladder_decision(&p, 1000.0, 0.9, 1.0, 4);
+        assert!(matches!(
+            d.level,
+            LadderLevel::Shifted | LadderLevel::MobileOnly
+        ));
+        // Whatever rung: never worse than mobile-only for the burst.
+        let span = uniform_makespan(4, p.f(d.cut), p.g(d.cut));
+        assert!(span <= 4.0 * p.f(p.k()) + 1e-9);
+    }
+
+    #[test]
+    fn ladder_burst_never_exceeds_mobile_only_for_any_factor() {
+        let p = profile();
+        let n = 8;
+        let mobile = n as f64 * p.f(p.k());
+        for i in 0..=100 {
+            let factor = i as f64 / 100.0;
+            let d = ladder_decision(&p, 20.0, 0.9, factor, n);
+            let span = if factor > 0.0 {
+                uniform_makespan(n, p.f(d.cut), p.g(d.cut) / factor)
+            } else {
+                n as f64 * p.f(d.cut) // cut k: g = 0
+            };
+            assert!(
+                span <= mobile + 1e-9,
+                "factor {factor}: ladder {span} > mobile-only {mobile}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_degraded_ladder_beats_frozen_under_blackout() {
+        let p = profile();
+        let factors = [1.0, 1.0, 0.0, 0.0, 0.3, 1.0];
+        let retry = RetryPolicy::default();
+        let ladder = run_degraded(&p, &factors, 6, 20.0, 0.9, &retry, DegradePolicy::Ladder);
+        let frozen = run_degraded(&p, &factors, 6, 20.0, 0.9, &retry, DegradePolicy::Frozen);
+        let mobile =
+            run_degraded(&p, &factors, 6, 20.0, 0.9, &retry, DegradePolicy::MobileOnly);
+        assert!(
+            ladder.total_ms < frozen.total_ms,
+            "ladder {} must beat frozen {} through the blackout",
+            ladder.total_ms,
+            frozen.total_ms
+        );
+        assert!(
+            ladder.total_ms <= mobile.total_ms + 1e-9,
+            "ladder {} must never lose to mobile-only {}",
+            ladder.total_ms,
+            mobile.total_ms
+        );
+        assert_eq!(ladder.bursts.len(), factors.len());
+        // The blackout bursts ran mobile-only, the healthy ones didn't.
+        assert_eq!(ladder.bursts[2].level, LadderLevel::MobileOnly);
+        assert_eq!(ladder.bursts[0].level, LadderLevel::Normal);
+    }
+
+    #[test]
+    fn lagged_ladder_pays_a_detection_penalty() {
+        let p = profile();
+        // A single surprise blackout burst: the lagged policy commits
+        // to an offloading cut and burns the retry budget.
+        let factors = [1.0, 0.0, 1.0];
+        let retry = RetryPolicy::default();
+        let oracle = run_degraded(&p, &factors, 6, 20.0, 0.9, &retry, DegradePolicy::Ladder);
+        let lagged = run_degraded(
+            &p,
+            &factors,
+            6,
+            20.0,
+            0.9,
+            &retry,
+            DegradePolicy::LaggedLadder,
+        );
+        assert!(
+            lagged.total_ms > oracle.total_ms,
+            "lag must cost something: lagged {} vs oracle {}",
+            lagged.total_ms,
+            oracle.total_ms
+        );
+    }
+
+    #[test]
+    fn degraded_runs_are_deterministic() {
+        let p = profile();
+        let factors = [1.0, 0.4, 0.0, 0.7];
+        let retry = RetryPolicy::default();
+        for policy in [
+            DegradePolicy::Frozen,
+            DegradePolicy::Ladder,
+            DegradePolicy::LaggedLadder,
+            DegradePolicy::MobileOnly,
+        ] {
+            let a = run_degraded(&p, &factors, 5, 20.0, 0.9, &retry, policy);
+            let b = run_degraded(&p, &factors, 5, 20.0, 0.9, &retry, policy);
+            assert_eq!(a, b, "{policy} must be deterministic");
+        }
+    }
+}

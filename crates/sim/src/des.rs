@@ -18,6 +18,8 @@
 use mcdnn_flowshop::FlowJob;
 use mcdnn_rng::Rng;
 
+use crate::fault::{FaultEvent, FaultEventKind, FaultPlan, RetryPolicy};
+
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct DesConfig {
@@ -151,6 +153,221 @@ pub fn simulate(jobs: &[FlowJob], order: &[usize], config: &DesConfig) -> DesRes
     DesResult {
         timelines,
         makespan_ms: makespan,
+    }
+}
+
+/// Fault-injection parameters for [`simulate_faulted`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedRun {
+    /// The fault schedule to replay.
+    pub faults: FaultPlan,
+    /// Retry policy for lost uploads.
+    pub retry: RetryPolicy,
+    /// Extra mobile compute (ms) needed to finish one job entirely
+    /// on-device once its upload is abandoned — for a job cut at `l`
+    /// this is `f(k) − f(l)`, the remaining layers' mobile time.
+    pub local_fallback_ms: f64,
+}
+
+impl Default for FaultedRun {
+    fn default() -> Self {
+        FaultedRun {
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            local_fallback_ms: 0.0,
+        }
+    }
+}
+
+/// Output of [`simulate_faulted`]: the fault-free timelines plus the
+/// fault/recovery event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedDesResult {
+    /// One timeline per job, in schedule order. For jobs that fell back
+    /// to local execution, `upload_start..upload_end` records the link
+    /// time wasted on lost attempts and `completion` the on-device
+    /// finish.
+    pub timelines: Vec<JobTimeline>,
+    /// Latest completion across jobs.
+    pub makespan_ms: f64,
+    /// Fault/recovery events, sorted by `(time, job)`.
+    pub events: Vec<FaultEvent>,
+    /// `(job id, start, end)` of the on-device remainder of each job
+    /// that exhausted its retry budget, in exhaustion order. The
+    /// remainders run on the mobile CPU after every scheduled compute
+    /// stage.
+    pub fallbacks: Vec<(usize, f64, f64)>,
+}
+
+impl FaultedDesResult {
+    /// Ids of jobs that completed on-device, in exhaustion order.
+    pub fn fallback_jobs(&self) -> Vec<usize> {
+        self.fallbacks.iter().map(|&(id, _, _)| id).collect()
+    }
+}
+
+/// [`simulate`] with a [`FaultPlan`] injected.
+///
+/// Semantics, all deterministic given `(jobs, order, config, run)`:
+///
+/// * **Rate faults** — each upload progresses through the plan's
+///   piecewise link timeline (no progress during a blackout, scaled
+///   progress during a collapse), so an upload started before a fault
+///   window stretches across it.
+/// * **Upload loss** — a lost attempt occupies its channel for the
+///   full (faulted) transfer time before the loss is detected; the
+///   retry waits out the exponential backoff and transfers again. When
+///   the attempt budget is exhausted the job falls back to the mobile
+///   CPU: its remaining layers (`local_fallback_ms`) queue *behind*
+///   every scheduled compute stage — the single CPU is never
+///   double-booked — in exhaustion order.
+/// * **Cloud straggle** — the afflicted job's cloud stage is stretched
+///   by its factor.
+///
+/// With an empty plan this reproduces [`simulate`] exactly (tested).
+pub fn simulate_faulted(
+    jobs: &[FlowJob],
+    order: &[usize],
+    config: &DesConfig,
+    run: &FaultedRun,
+) -> FaultedDesResult {
+    let _span = mcdnn_obs::span("sim", "des_faulted");
+    mcdnn_obs::counter_add("des.faulted_runs", 1);
+    assert!(config.uplink_channels >= 1, "need at least one uplink channel");
+    assert!(config.cloud_slots >= 1, "need at least one cloud slot");
+    assert!((0.0..1.0).contains(&config.jitter_frac), "jitter in [0,1)");
+    assert!(run.retry.max_attempts >= 1, "need at least one attempt");
+    assert!(run.local_fallback_ms >= 0.0, "fallback time must be >= 0");
+    let timeline = run.faults.link_timeline();
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut jitter = |d: f64| -> f64 {
+        if config.jitter_frac == 0.0 || d == 0.0 {
+            d
+        } else {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            (d * (1.0 + config.jitter_frac * u)).max(0.0)
+        }
+    };
+
+    let mut cpu_free = 0.0f64;
+    let mut uplink_free = vec![0.0f64; config.uplink_channels];
+    let mut cloud_free = vec![0.0f64; config.cloud_slots];
+
+    let mut timelines = Vec::with_capacity(order.len());
+    let mut events: Vec<FaultEvent> = Vec::new();
+    // (timeline index, ready time, remaining mobile work) per fallback.
+    let mut fallbacks: Vec<(usize, f64, f64)> = Vec::new();
+    for &idx in order {
+        let job = &jobs[idx];
+        let compute_start = cpu_free;
+        let compute_end = compute_start + jitter(job.compute_ms);
+        cpu_free = compute_end;
+
+        let (mut upload_start, mut upload_end) = (compute_end, compute_end);
+        let mut completion = compute_end;
+        if job.comm_ms > 0.0 {
+            let losses = run.faults.upload_losses(job.id);
+            let work = jitter(job.comm_ms);
+            let mut ready = compute_end;
+            let mut first_attempt_start = None;
+            let mut succeeded = false;
+            for attempt in 1..=run.retry.max_attempts {
+                let ch = argmin(&uplink_free);
+                let start = ready.max(uplink_free[ch]);
+                let end = timeline.transfer_end(start, work);
+                uplink_free[ch] = end;
+                first_attempt_start.get_or_insert(start);
+                upload_end = end;
+                if attempt <= losses {
+                    mcdnn_obs::counter_add("fault.upload_lost", 1);
+                    events.push(FaultEvent {
+                        t_ms: end,
+                        job: job.id,
+                        kind: FaultEventKind::UploadLost { attempt },
+                    });
+                    if attempt < run.retry.max_attempts {
+                        let delay = run.retry.backoff_ms(attempt);
+                        mcdnn_obs::counter_add("fault.retries", 1);
+                        events.push(FaultEvent {
+                            t_ms: end,
+                            job: job.id,
+                            kind: FaultEventKind::RetryScheduled {
+                                attempt: attempt + 1,
+                                delay_ms: delay,
+                            },
+                        });
+                        ready = end + delay;
+                    }
+                } else {
+                    if attempt > 1 {
+                        mcdnn_obs::counter_add("recovery.upload_recovered", 1);
+                        events.push(FaultEvent {
+                            t_ms: end,
+                            job: job.id,
+                            kind: FaultEventKind::UploadRecovered { attempts: attempt },
+                        });
+                    }
+                    succeeded = true;
+                    break;
+                }
+            }
+            upload_start = first_attempt_start.unwrap_or(compute_end);
+            if succeeded {
+                completion = upload_end;
+                if job.cloud_ms > 0.0 {
+                    let factor = run.faults.cloud_factor(job.id);
+                    let slot = argmin(&cloud_free);
+                    let start = upload_end.max(cloud_free[slot]);
+                    if factor > 1.0 {
+                        mcdnn_obs::counter_add("fault.cloud_straggles", 1);
+                        events.push(FaultEvent {
+                            t_ms: start,
+                            job: job.id,
+                            kind: FaultEventKind::CloudStraggled { factor },
+                        });
+                    }
+                    completion = start + jitter(job.cloud_ms) * factor;
+                    cloud_free[slot] = completion;
+                }
+            } else {
+                // Budget exhausted at the last lost attempt's end.
+                mcdnn_obs::counter_add("fault.local_fallbacks", 1);
+                events.push(FaultEvent {
+                    t_ms: upload_end,
+                    job: job.id,
+                    kind: FaultEventKind::LocalFallback,
+                });
+                fallbacks.push((timelines.len(), upload_end, jitter(run.local_fallback_ms)));
+                completion = upload_end; // placeholder; fixed in pass 2
+            }
+        }
+        timelines.push(JobTimeline {
+            id: job.id,
+            compute_start,
+            compute_end,
+            upload_start,
+            upload_end,
+            completion,
+        });
+    }
+
+    // Pass 2: fallback remainders run on the single mobile CPU after
+    // every scheduled compute stage, in exhaustion order.
+    let mut fallback_intervals = Vec::with_capacity(fallbacks.len());
+    for (slot, ready, extra) in fallbacks {
+        let start = cpu_free.max(ready);
+        cpu_free = start + extra;
+        timelines[slot].completion = cpu_free;
+        fallback_intervals.push((timelines[slot].id, start, cpu_free));
+    }
+
+    let makespan = timelines.iter().map(|t| t.completion).fold(0.0, f64::max);
+    crate::fault::sort_events(&mut events);
+    FaultedDesResult {
+        timelines,
+        makespan_ms: makespan,
+        events,
+        fallbacks: fallback_intervals,
     }
 }
 
@@ -322,5 +539,166 @@ mod tests {
         let r = simulate(&[], &[], &DesConfig::default());
         assert_eq!(r.makespan_ms, 0.0);
         assert_eq!(r.average_completion_ms(), 0.0);
+    }
+
+    mod faulted {
+        use super::*;
+        use crate::fault::{format_events, log_digest, Fault, FaultEventKind};
+
+        #[test]
+        fn empty_plan_reproduces_fault_free_simulation() {
+            let js = jobs(&[(4.0, 6.0), (7.0, 2.0), (3.0, 3.0)]);
+            let order = vec![2, 0, 1];
+            for cfg in [
+                DesConfig::default(),
+                DesConfig {
+                    jitter_frac: 0.2,
+                    seed: 9,
+                    ..DesConfig::default()
+                },
+            ] {
+                let clean = simulate(&js, &order, &cfg);
+                let faulted = simulate_faulted(&js, &order, &cfg, &FaultedRun::default());
+                assert_eq!(clean.timelines, faulted.timelines);
+                assert_eq!(clean.makespan_ms, faulted.makespan_ms);
+                assert!(faulted.events.is_empty());
+                assert!(faulted.fallbacks.is_empty());
+            }
+        }
+
+        #[test]
+        fn blackout_delays_straddling_upload() {
+            // Job 0: compute ends at 4, upload needs 6. Blackout [6, 20):
+            // 2 ms transferred by 6, stall to 20, done at 24.
+            let js = jobs(&[(4.0, 6.0)]);
+            let run = FaultedRun {
+                faults: FaultPlan::new(vec![Fault::Blackout {
+                    from_ms: 6.0,
+                    until_ms: 20.0,
+                }]),
+                ..FaultedRun::default()
+            };
+            let r = simulate_faulted(&js, &[0], &DesConfig::default(), &run);
+            assert!((r.makespan_ms - 24.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn lost_upload_retries_with_backoff_then_recovers() {
+            let js = jobs(&[(4.0, 6.0)]);
+            let run = FaultedRun {
+                faults: FaultPlan::new(vec![Fault::UploadLoss { job: 0, losses: 1 }]),
+                ..FaultedRun::default()
+            };
+            let r = simulate_faulted(&js, &[0], &DesConfig::default(), &run);
+            // Attempt 1: 4→10 lost; backoff 2; attempt 2: 12→18 succeeds.
+            assert!((r.makespan_ms - 18.0).abs() < 1e-9);
+            let kinds: Vec<_> = r.events.iter().map(|e| e.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    FaultEventKind::UploadLost { attempt: 1 },
+                    FaultEventKind::RetryScheduled {
+                        attempt: 2,
+                        delay_ms: 2.0
+                    },
+                    FaultEventKind::UploadRecovered { attempts: 2 },
+                ]
+            );
+            assert!(r.fallbacks.is_empty());
+        }
+
+        #[test]
+        fn exhausted_retries_fall_back_to_mobile_after_scheduled_computes() {
+            // Job 0 loses every attempt; job 1 computes behind it. The
+            // fallback remainder must queue after job 1's compute.
+            let js = jobs(&[(4.0, 6.0), (10.0, 0.0)]);
+            let run = FaultedRun {
+                faults: FaultPlan::new(vec![Fault::UploadLoss { job: 0, losses: 9 }]),
+                local_fallback_ms: 5.0,
+                ..FaultedRun::default()
+            };
+            let r = simulate_faulted(&js, &[0, 1], &DesConfig::default(), &run);
+            assert_eq!(r.fallback_jobs(), vec![0]);
+            // Attempts: 4→10, 12→18, 22→28, 36→42 (backoffs 2, 4, 8).
+            let exhausted_at = 42.0;
+            let t0 = &r.timelines[0];
+            assert!((t0.upload_end - exhausted_at).abs() < 1e-9);
+            // CPU free at 14 (4 + 10): fallback starts at max(14, 42).
+            assert!((t0.completion - (exhausted_at + 5.0)).abs() < 1e-9);
+            assert!(r
+                .events
+                .iter()
+                .any(|e| e.kind == FaultEventKind::LocalFallback));
+        }
+
+        #[test]
+        fn cloud_straggle_stretches_cloud_stage() {
+            let js = vec![FlowJob::three_stage(0, 2.0, 3.0, 4.0)];
+            let run = FaultedRun {
+                faults: FaultPlan::new(vec![Fault::CloudStraggle {
+                    job: 0,
+                    factor: 2.5,
+                }]),
+                ..FaultedRun::default()
+            };
+            let r = simulate_faulted(&js, &[0], &DesConfig::default(), &run);
+            assert!((r.makespan_ms - (2.0 + 3.0 + 10.0)).abs() < 1e-9);
+            assert_eq!(r.events.len(), 1);
+        }
+
+        #[test]
+        fn identical_fault_schedule_gives_bit_identical_event_log() {
+            let js = jobs(&[(4.0, 6.0), (7.0, 2.0), (3.0, 5.0), (6.0, 4.0)]);
+            let order = vec![0, 1, 2, 3];
+            let spec = crate::fault::FaultSpec {
+                loss_prob: 0.8,
+                blackout_prob: 1.0,
+                ..crate::fault::FaultSpec::default()
+            };
+            let cfg = DesConfig {
+                jitter_frac: 0.1,
+                seed: 5,
+                ..DesConfig::default()
+            };
+            for seed in [7u64, 1234] {
+                let run = FaultedRun {
+                    faults: FaultPlan::random(&spec, 4, 60.0, seed),
+                    local_fallback_ms: 3.0,
+                    ..FaultedRun::default()
+                };
+                let a = simulate_faulted(&js, &order, &cfg, &run);
+                let b = simulate_faulted(&js, &order, &cfg, &run);
+                assert_eq!(a, b);
+                assert_eq!(
+                    log_digest(&format_events(&a.events)),
+                    log_digest(&format_events(&b.events))
+                );
+            }
+        }
+
+        #[test]
+        fn faults_never_speed_up_the_schedule() {
+            let js = jobs(&[(4.0, 6.0), (7.0, 2.0), (3.0, 5.0)]);
+            let order = vec![0, 1, 2];
+            let clean = simulate(&js, &order, &DesConfig::default()).makespan_ms;
+            for seed in 0..20u64 {
+                let run = FaultedRun {
+                    faults: FaultPlan::random(
+                        &crate::fault::FaultSpec::default(),
+                        3,
+                        40.0,
+                        seed,
+                    ),
+                    local_fallback_ms: 6.0,
+                    ..FaultedRun::default()
+                };
+                let r = simulate_faulted(&js, &order, &DesConfig::default(), &run);
+                assert!(
+                    r.makespan_ms >= clean - 1e-9,
+                    "seed {seed}: faulted {} < clean {clean}",
+                    r.makespan_ms
+                );
+            }
+        }
     }
 }

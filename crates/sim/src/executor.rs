@@ -25,6 +25,8 @@ use std::time::{Duration, Instant};
 
 use mcdnn_flowshop::FlowJob;
 
+use crate::fault::{FaultEvent, FaultEventKind};
+
 /// How stage durations are realised.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ClockMode {
@@ -228,6 +230,244 @@ pub fn run_pipeline(jobs: &[FlowJob], order: &[usize], config: &ExecutorConfig) 
     }
 }
 
+/// Result of one fault-injected executor run.
+#[derive(Debug, Clone)]
+pub struct FaultedExecTrace {
+    /// `(job id, completion in virtual ms)` sorted by completion.
+    pub completions: Vec<(usize, f64)>,
+    /// Virtual makespan: latest completion.
+    pub makespan_ms: f64,
+    /// Fault/recovery events, in canonical `(time, job, kind)` order.
+    pub events: Vec<FaultEvent>,
+    /// Ids of jobs that completed on-device after exhausting retries,
+    /// in exhaustion order.
+    pub fallback_jobs: Vec<usize>,
+}
+
+/// [`run_pipeline`] with a [`FaultPlan`](crate::fault::FaultPlan)
+/// injected: the uplink thread replays rate faults and lost attempts
+/// (occupying the link, backing off, retrying), the cloud thread
+/// stretches straggled stages, and jobs whose retry budget is
+/// exhausted flow *back* to the mobile thread over a dedicated channel
+/// to finish on-device after every scheduled compute stage.
+///
+/// In [`ClockMode::Logical`] the result matches
+/// [`simulate_faulted`](crate::des::simulate_faulted) exactly (tested,
+/// single-channel/single-slot, zero jitter). Under
+/// [`ClockMode::WallClock`] stage durations (including the faulted
+/// transfer times, computed against a logical shadow clock) are burned
+/// in real time — queueing is physical, so it is a smoke-grade check
+/// only.
+pub fn run_pipeline_faulted(
+    jobs: &[FlowJob],
+    order: &[usize],
+    config: &ExecutorConfig,
+    run: &crate::des::FaultedRun,
+) -> FaultedExecTrace {
+    let _span = mcdnn_obs::span("sim", "run_pipeline_faulted");
+    assert!(run.retry.max_attempts >= 1, "need at least one attempt");
+    assert!(run.local_fallback_ms >= 0.0, "fallback time must be >= 0");
+    let scale = match config.clock {
+        ClockMode::Logical => None,
+        ClockMode::WallClock { us_per_virtual_ms } => {
+            assert!(us_per_virtual_ms > 0.0, "time scale must be positive");
+            Some(us_per_virtual_ms)
+        }
+    };
+    let timeline = run.faults.link_timeline();
+
+    let completions: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::with_capacity(order.len()));
+    let events: Mutex<Vec<FaultEvent>> = Mutex::new(Vec::new());
+    let fallback_jobs: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let start_cell: Mutex<Option<Instant>> = Mutex::new(None);
+
+    // Burn `duration` virtual ms in wall-clock mode and return the
+    // measured virtual now; in logical mode return `logical_end`.
+    let settle = |duration: f64, logical_end: f64| -> f64 {
+        match scale {
+            None => logical_end,
+            Some(us) => {
+                busy_wait(Duration::from_nanos((duration * us * 1e3) as u64));
+                let epoch = start_cell
+                    .lock()
+                    .expect("no stage panicked")
+                    .expect("mobile thread sets epoch first");
+                epoch.elapsed().as_secs_f64() * 1e6 / us
+            }
+        }
+    };
+
+    let (to_uplink_tx, to_uplink_rx) = mpsc::channel::<InFlight>();
+    let (to_cloud_tx, to_cloud_rx) = mpsc::channel::<InFlight>();
+    // Exhausted jobs return to the mobile thread: (job id, exhaustion
+    // time, remaining on-device work).
+    let (to_fallback_tx, to_fallback_rx) = mpsc::channel::<(usize, f64, f64)>();
+
+    thread::scope(|s| {
+        let completions = &completions;
+        let events = &events;
+        let fallback_jobs = &fallback_jobs;
+        let start_cell = &start_cell;
+        let settle = &settle;
+        let timeline = &timeline;
+        // Mobile CPU: scheduled computes first, then returned fallbacks.
+        s.spawn(move || {
+            *start_cell.lock().expect("no stage panicked") = Some(Instant::now());
+            let mut clock = 0.0f64;
+            for &idx in order {
+                let job = jobs[idx];
+                mcdnn_obs::observe_ms("exec.mobile.busy_ms", job.compute_ms);
+                clock += job.compute_ms;
+                let done = settle(job.compute_ms, clock);
+                if job.comm_ms > 0.0 {
+                    to_uplink_tx
+                        .send(InFlight {
+                            job,
+                            ready_at: done,
+                        })
+                        .expect("uplink thread alive");
+                } else {
+                    completions
+                        .lock()
+                        .expect("no stage panicked")
+                        .push((job.id, done));
+                }
+            }
+            drop(to_uplink_tx);
+            // The uplink thread closes the fallback channel when its
+            // queue drains, ending this loop.
+            for (id, ready_at, extra) in to_fallback_rx.iter() {
+                mcdnn_obs::observe_ms("exec.mobile.busy_ms", extra);
+                clock = clock.max(ready_at) + extra;
+                let done = settle(extra, clock);
+                completions
+                    .lock()
+                    .expect("no stage panicked")
+                    .push((id, done));
+            }
+        });
+        // Uplink: replays rate faults, losses, backoff and retries.
+        s.spawn(move || {
+            let mut clock = 0.0f64;
+            for msg in to_uplink_rx.iter() {
+                let losses = run.faults.upload_losses(msg.job.id);
+                let mut ready = msg.ready_at;
+                let mut succeeded = false;
+                let mut last_end = msg.ready_at;
+                for attempt in 1..=run.retry.max_attempts {
+                    let start = ready.max(clock);
+                    let end = timeline.transfer_end(start, msg.job.comm_ms);
+                    mcdnn_obs::observe_ms("exec.uplink.wait_ms", (clock - ready).max(0.0));
+                    mcdnn_obs::observe_ms("exec.uplink.busy_ms", end - start);
+                    clock = end;
+                    last_end = settle(end - start, end);
+                    if attempt <= losses {
+                        mcdnn_obs::counter_add("fault.upload_lost", 1);
+                        let mut ev = events.lock().expect("no stage panicked");
+                        ev.push(FaultEvent {
+                            t_ms: last_end,
+                            job: msg.job.id,
+                            kind: FaultEventKind::UploadLost { attempt },
+                        });
+                        if attempt < run.retry.max_attempts {
+                            let delay = run.retry.backoff_ms(attempt);
+                            mcdnn_obs::counter_add("fault.retries", 1);
+                            ev.push(FaultEvent {
+                                t_ms: last_end,
+                                job: msg.job.id,
+                                kind: FaultEventKind::RetryScheduled {
+                                    attempt: attempt + 1,
+                                    delay_ms: delay,
+                                },
+                            });
+                            ready = end + delay;
+                        }
+                    } else {
+                        if attempt > 1 {
+                            mcdnn_obs::counter_add("recovery.upload_recovered", 1);
+                            events.lock().expect("no stage panicked").push(FaultEvent {
+                                t_ms: last_end,
+                                job: msg.job.id,
+                                kind: FaultEventKind::UploadRecovered { attempts: attempt },
+                            });
+                        }
+                        succeeded = true;
+                        break;
+                    }
+                }
+                if succeeded {
+                    if msg.job.cloud_ms > 0.0 {
+                        to_cloud_tx
+                            .send(InFlight {
+                                job: msg.job,
+                                ready_at: last_end,
+                            })
+                            .expect("cloud thread alive");
+                    } else {
+                        completions
+                            .lock()
+                            .expect("no stage panicked")
+                            .push((msg.job.id, last_end));
+                    }
+                } else {
+                    mcdnn_obs::counter_add("fault.local_fallbacks", 1);
+                    events.lock().expect("no stage panicked").push(FaultEvent {
+                        t_ms: last_end,
+                        job: msg.job.id,
+                        kind: FaultEventKind::LocalFallback,
+                    });
+                    fallback_jobs
+                        .lock()
+                        .expect("no stage panicked")
+                        .push(msg.job.id);
+                    to_fallback_tx
+                        .send((msg.job.id, last_end, run.local_fallback_ms))
+                        .expect("mobile thread alive");
+                }
+            }
+            drop(to_cloud_tx);
+            drop(to_fallback_tx);
+        });
+        // Cloud: executes the remainder, stretched for stragglers.
+        s.spawn(move || {
+            let mut clock = 0.0f64;
+            for msg in to_cloud_rx.iter() {
+                let factor = run.faults.cloud_factor(msg.job.id);
+                let duration = msg.job.cloud_ms * factor;
+                let start = clock.max(msg.ready_at);
+                if factor > 1.0 {
+                    mcdnn_obs::counter_add("fault.cloud_straggles", 1);
+                    events.lock().expect("no stage panicked").push(FaultEvent {
+                        t_ms: start,
+                        job: msg.job.id,
+                        kind: FaultEventKind::CloudStraggled { factor },
+                    });
+                }
+                mcdnn_obs::observe_ms("exec.cloud.wait_ms", (clock - msg.ready_at).max(0.0));
+                mcdnn_obs::observe_ms("exec.cloud.busy_ms", duration);
+                clock = start + duration;
+                let done = settle(duration, clock);
+                completions
+                    .lock()
+                    .expect("no stage panicked")
+                    .push((msg.job.id, done));
+            }
+        });
+    });
+
+    let mut completions = completions.into_inner().expect("scope joined every stage");
+    completions.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let makespan_ms = completions.last().map_or(0.0, |c| c.1);
+    let mut events = events.into_inner().expect("scope joined every stage");
+    crate::fault::sort_events(&mut events);
+    FaultedExecTrace {
+        completions,
+        makespan_ms,
+        events,
+        fallback_jobs: fallback_jobs.into_inner().expect("scope joined every stage"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +574,111 @@ mod tests {
     #[should_panic(expected = "time scale must be positive")]
     fn zero_scale_rejected() {
         ExecutorConfig::wall_clock(0.0);
+    }
+
+    mod faulted {
+        use super::*;
+        use crate::des::{simulate_faulted, FaultedRun};
+        use crate::fault::{format_events, FaultPlan, FaultSpec};
+
+        #[test]
+        fn empty_plan_matches_fault_free_executor() {
+            let js = jobs(&[(4.0, 6.0), (7.0, 2.0), (3.0, 3.0)]);
+            let order = johnson_order(&js);
+            let clean = run_pipeline(&js, &order, &ExecutorConfig::default());
+            let faulted = run_pipeline_faulted(
+                &js,
+                &order,
+                &ExecutorConfig::default(),
+                &FaultedRun::default(),
+            );
+            assert_eq!(clean.completions, faulted.completions);
+            assert!(faulted.events.is_empty());
+            assert!(faulted.fallback_jobs.is_empty());
+        }
+
+        #[test]
+        fn logical_faulted_executor_matches_faulted_des_exactly() {
+            let specs: Vec<Vec<(f64, f64)>> = vec![
+                vec![(4.0, 6.0), (7.0, 2.0), (3.0, 5.0), (6.0, 4.0)],
+                vec![(5.0, 0.0), (1.0, 9.0), (2.0, 2.0), (8.0, 0.0)],
+                vec![(2.0, 3.0); 12],
+            ];
+            let spec = FaultSpec {
+                loss_prob: 0.6,
+                blackout_prob: 1.0,
+                collapse_prob: 1.0,
+                ..FaultSpec::default()
+            };
+            for js_spec in &specs {
+                let js = jobs(js_spec);
+                let order: Vec<usize> = (0..js.len()).collect();
+                for seed in [7u64, 1234] {
+                    let run = FaultedRun {
+                        faults: FaultPlan::random(&spec, js.len(), 80.0, seed),
+                        local_fallback_ms: 4.0,
+                        ..FaultedRun::default()
+                    };
+                    let des = simulate_faulted(&js, &order, &DesConfig::default(), &run);
+                    let exec =
+                        run_pipeline_faulted(&js, &order, &ExecutorConfig::default(), &run);
+                    assert!(
+                        (exec.makespan_ms - des.makespan_ms).abs() < 1e-9,
+                        "seed {seed}: exec {} vs DES {}",
+                        exec.makespan_ms,
+                        des.makespan_ms
+                    );
+                    assert_eq!(
+                        format_events(&exec.events),
+                        format_events(&des.events),
+                        "seed {seed}: event logs must agree bit-for-bit"
+                    );
+                    assert_eq!(exec.fallback_jobs, des.fallback_jobs());
+                    // Per-job completions agree too.
+                    let mut des_completions: Vec<(usize, f64)> = des
+                        .timelines
+                        .iter()
+                        .map(|t| (t.id, t.completion))
+                        .collect();
+                    des_completions
+                        .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                    for (a, b) in exec.completions.iter().zip(&des_completions) {
+                        assert_eq!(a.0, b.0);
+                        assert!((a.1 - b.1).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn repeated_runs_are_bit_identical() {
+            let js = jobs(&[(4.0, 6.0), (7.0, 2.0), (3.0, 5.0)]);
+            let order = vec![0, 1, 2];
+            let run = FaultedRun {
+                faults: FaultPlan::random(&FaultSpec::default(), 3, 40.0, 99),
+                local_fallback_ms: 2.0,
+                ..FaultedRun::default()
+            };
+            let a = run_pipeline_faulted(&js, &order, &ExecutorConfig::default(), &run);
+            let b = run_pipeline_faulted(&js, &order, &ExecutorConfig::default(), &run);
+            assert_eq!(a.completions, b.completions);
+            assert_eq!(format_events(&a.events), format_events(&b.events));
+        }
+
+        #[test]
+        fn wall_clock_faulted_smoke() {
+            let js = jobs(&[(2.0, 3.0), (3.0, 1.0)]);
+            let run = FaultedRun {
+                faults: FaultPlan::new(vec![crate::fault::Fault::UploadLoss {
+                    job: 0,
+                    losses: 1,
+                }]),
+                ..FaultedRun::default()
+            };
+            let exec =
+                run_pipeline_faulted(&js, &[0, 1], &ExecutorConfig::wall_clock(50.0), &run);
+            assert_eq!(exec.completions.len(), 2);
+            assert!(!exec.events.is_empty());
+        }
     }
 }

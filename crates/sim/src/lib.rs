@@ -23,18 +23,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degrade;
 pub mod des;
 pub mod executor;
+pub mod fault;
 pub mod online;
 pub mod robustness;
 pub mod stream;
 pub mod trace;
 pub mod validate;
 
-pub use des::{DesConfig, DesResult, simulate};
-pub use executor::{run_pipeline, ClockMode, ExecTrace, ExecutorConfig};
+pub use degrade::{
+    ladder_decision, run_degraded, BurstRecord, DegradePolicy, DegradedRun, LadderDecision,
+    LadderLevel,
+};
+pub use des::{simulate, simulate_faulted, DesConfig, DesResult, FaultedDesResult, FaultedRun};
+pub use fault::{
+    format_events, log_digest, Fault, FaultEvent, FaultEventKind, FaultPlan, FaultSpec,
+    LinkTimeline, RetryPolicy,
+};
+pub use executor::{
+    run_pipeline, run_pipeline_faulted, ClockMode, ExecTrace, ExecutorConfig, FaultedExecTrace,
+};
 pub use online::{run_online, BandwidthTrace, OnlineResult, ReplanPolicy};
-pub use robustness::{realized_makespans, MakespanStats};
+pub use robustness::{
+    chaos_drill, chaos_scenarios, realized_makespans, run_chaos_grid, ChaosDrill, ChaosRow,
+    ChaosScenario, MakespanStats,
+};
 pub use stream::{best_cut_for_rate, saturation_rate_hz, simulate_stream, StreamConfig, StreamStats};
-pub use trace::{schedule_trace, to_chrome_trace};
+pub use trace::{faulted_trace, schedule_trace, to_chrome_trace};
 pub use validate::{agreement_report, AgreementReport};

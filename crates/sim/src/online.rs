@@ -15,7 +15,7 @@
 //! paper's lightweight online profiling loop.
 
 use mcdnn_graph::LineDnn;
-use mcdnn_partition::{jps_best_mix_plan, Plan};
+use mcdnn_partition::{Plan, Strategy};
 use mcdnn_profile::measure::{fit_comm_model, measure_uploads};
 use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, NetworkModel};
 use mcdnn_rng::Rng;
@@ -180,14 +180,14 @@ pub fn run_online(
         let plan = {
             let _plan_span = mcdnn_obs::span("sim", "online_plan");
             if i == 0 || policy != ReplanPolicy::Static {
-                jps_best_mix_plan(&planned_profile, jobs_per_burst)
+                Strategy::JpsBestMix.plan(&planned_profile, jobs_per_burst)
             } else {
                 // Static: reuse the burst-0 cut decision (recompute cheaply
                 // from burst 0's belief — identical every time).
                 let first_net = NetworkModel::new(truth[0], setup_ms);
                 let p0 =
                     CostProfile::evaluate(line, mobile, &first_net, &CloudModel::Negligible);
-                jps_best_mix_plan(&p0, jobs_per_burst)
+                Strategy::JpsBestMix.plan(&p0, jobs_per_burst)
             }
         };
         mcdnn_obs::counter_add("online.bursts", 1);

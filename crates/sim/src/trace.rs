@@ -8,7 +8,10 @@
 //! millisecond maps to 1000 µs.
 
 use mcdnn_flowshop::{gantt, FlowJob};
-use mcdnn_obs::{ChromeTrace, TraceEvent};
+use mcdnn_obs::{ChromeTrace, InstantEvent, TraceEvent};
+
+use crate::des::FaultedDesResult;
+use crate::fault::{Fault, FaultEventKind, FaultPlan};
 
 /// Resource (thread) names shown in the trace viewer.
 const STAGE_NAMES: [&str; 3] = ["mobile CPU", "uplink", "cloud"];
@@ -44,6 +47,114 @@ pub fn schedule_trace(jobs: &[FlowJob], order: &[usize], pid: u32) -> ChromeTrac
 /// JSON document (thin wrapper over [`schedule_trace`]).
 pub fn to_chrome_trace(jobs: &[FlowJob], order: &[usize]) -> String {
     schedule_trace(jobs, order, 1).to_json()
+}
+
+/// Build the trace of a fault-injected run under `pid`: the three
+/// stage rows reconstructed from the realised timelines (upload rows
+/// stretch across fault windows; on-device fallback remainders render
+/// on the mobile-CPU row), a fourth "faults" row with one slice per
+/// injected fault window, and one instant flag per fault/recovery
+/// event — so the viewer shows exactly *when* each upload was lost,
+/// retried, recovered or abandoned.
+pub fn faulted_trace(result: &FaultedDesResult, plan: &FaultPlan, pid: u32) -> ChromeTrace {
+    const FAULT_ROW: u32 = 3;
+    let mut trace = ChromeTrace::new();
+    for (tid, name) in STAGE_NAMES.iter().enumerate() {
+        trace.thread(pid, tid as u32, *name);
+    }
+    trace.thread(pid, FAULT_ROW, "faults");
+    let fallback_ids: Vec<usize> = result.fallbacks.iter().map(|&(id, _, _)| id).collect();
+    for t in &result.timelines {
+        if t.compute_end > t.compute_start {
+            trace.push(TraceEvent {
+                pid,
+                tid: 0,
+                name: format!("job {}", t.id),
+                cat: "stage0".to_string(),
+                ts_us: t.compute_start * 1000.0,
+                dur_us: (t.compute_end - t.compute_start) * 1000.0,
+            });
+        }
+        if t.upload_end > t.upload_start {
+            trace.push(TraceEvent {
+                pid,
+                tid: 1,
+                name: format!("job {}", t.id),
+                cat: "stage1".to_string(),
+                ts_us: t.upload_start * 1000.0,
+                dur_us: (t.upload_end - t.upload_start) * 1000.0,
+            });
+        }
+        // Anything after the upload is the cloud stage — unless the job
+        // fell back, in which case the remainder renders on the CPU row
+        // below from the recorded fallback interval.
+        if t.completion > t.upload_end && !fallback_ids.contains(&t.id) {
+            trace.push(TraceEvent {
+                pid,
+                tid: 2,
+                name: format!("job {}", t.id),
+                cat: "stage2".to_string(),
+                ts_us: t.upload_end * 1000.0,
+                dur_us: (t.completion - t.upload_end) * 1000.0,
+            });
+        }
+    }
+    for &(id, start, end) in &result.fallbacks {
+        if end > start {
+            trace.push(TraceEvent {
+                pid,
+                tid: 0,
+                name: format!("job {} (fallback)", id),
+                cat: "fallback".to_string(),
+                ts_us: start * 1000.0,
+                dur_us: (end - start) * 1000.0,
+            });
+        }
+    }
+    for fault in plan.faults() {
+        let (name, from, until) = match *fault {
+            Fault::RateCollapse {
+                from_ms,
+                until_ms,
+                factor,
+            } => (format!("rate x{factor:.2}"), from_ms, until_ms),
+            Fault::Blackout { from_ms, until_ms } => ("blackout".to_string(), from_ms, until_ms),
+            _ => continue, // per-job faults show as instant flags below
+        };
+        trace.push(TraceEvent {
+            pid,
+            tid: FAULT_ROW,
+            name,
+            cat: "fault".to_string(),
+            ts_us: from * 1000.0,
+            dur_us: (until - from) * 1000.0,
+        });
+    }
+    for ev in &result.events {
+        let name = match ev.kind {
+            FaultEventKind::UploadLost { attempt } => {
+                format!("job {}: upload lost (attempt {attempt})", ev.job)
+            }
+            FaultEventKind::RetryScheduled { attempt, delay_ms } => {
+                format!("job {}: retry {attempt} in {delay_ms:.1} ms", ev.job)
+            }
+            FaultEventKind::UploadRecovered { attempts } => {
+                format!("job {}: recovered after {attempts} attempts", ev.job)
+            }
+            FaultEventKind::LocalFallback => format!("job {}: local fallback", ev.job),
+            FaultEventKind::CloudStraggled { factor } => {
+                format!("job {}: cloud straggle x{factor:.2}", ev.job)
+            }
+        };
+        trace.mark(InstantEvent {
+            pid,
+            tid: FAULT_ROW,
+            name,
+            cat: "fault".to_string(),
+            ts_us: ev.t_ms * 1000.0,
+        });
+    }
+    trace
 }
 
 #[cfg(test)]
@@ -84,6 +195,48 @@ mod tests {
         let trace = to_chrome_trace(&[], &[]);
         assert_eq!(trace.matches("\"ph\":\"X\"").count(), 0);
         assert!(trace.starts_with('[') && trace.ends_with(']'));
+    }
+
+    #[test]
+    fn faulted_trace_shows_fault_windows_and_event_flags() {
+        use crate::des::{simulate_faulted, DesConfig, FaultedRun};
+        use crate::fault::Fault;
+
+        let jobs = vec![
+            FlowJob::two_stage(0, 4.0, 6.0),
+            FlowJob::two_stage(1, 10.0, 0.0),
+        ];
+        let plan = FaultPlan::new(vec![
+            Fault::Blackout {
+                from_ms: 5.0,
+                until_ms: 15.0,
+            },
+            Fault::UploadLoss { job: 0, losses: 9 },
+        ]);
+        let run = FaultedRun {
+            faults: plan.clone(),
+            local_fallback_ms: 3.0,
+            ..FaultedRun::default()
+        };
+        let result = simulate_faulted(&jobs, &[0, 1], &DesConfig::default(), &run);
+        let doc = faulted_trace(&result, &plan, 1).to_json();
+        // 4 rows: three stages + faults.
+        assert_eq!(doc.matches("\"ph\":\"M\"").count(), 4);
+        assert!(doc.contains("\"name\":\"faults\""));
+        // The blackout renders as a window on the fault row.
+        assert!(doc.contains("\"name\":\"blackout\""));
+        // Lost attempts and the fallback decision render as flags.
+        assert!(doc.contains("upload lost"));
+        assert!(doc.contains("local fallback"));
+        assert_eq!(
+            doc.matches("\"ph\":\"i\"").count(),
+            result.events.len(),
+            "one flag per fault/recovery event"
+        );
+        // The fallback remainder renders on the mobile row.
+        assert!(doc.contains("(fallback)"));
+        // Valid JSON throughout.
+        mcdnn_obs::json::parse(&doc).expect("valid JSON");
     }
 
     #[test]

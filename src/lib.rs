@@ -1,8 +1,11 @@
 //! Workspace facade for the `mcdnn` reproduction.
 //!
 //! Re-exports the public API of the [`mcdnn`] core crate so the root
-//! examples and integration tests have a single import surface. See
-//! `README.md` for the architecture overview and `DESIGN.md` for the
-//! paper-to-module map.
+//! examples and integration tests have a single import surface. The
+//! crate docs below are the repository `README.md`, included verbatim
+//! so its `rust` code blocks run as doctests (`cargo test --doc`) and
+//! can never silently rot. See `DESIGN.md` for the paper-to-module
+//! map.
+#![doc = include_str!("../README.md")]
 
 pub use mcdnn::*;

@@ -5,8 +5,8 @@
 
 use mcdnn::prelude::*;
 use mcdnn_partition::{
-    edge_jps_plan, hetero_jps_plan, jps_best_mix_plan, makespan_multichannel,
-    multichannel_jps_plan, pareto_front, two_stage_blind_plan, JobGroup,
+    edge_jps_plan, hetero_jps_plan, makespan_multichannel, multichannel_jps_plan,
+    pareto_front, two_stage_blind_plan, JobGroup,
 };
 use mcdnn_profile::EnergyModel;
 use mcdnn_sim::{realized_makespans, run_online, simulate, BandwidthTrace, DesConfig, ReplanPolicy};
@@ -76,8 +76,8 @@ fn hetero_batch_on_real_models() {
     ]);
     assert_eq!(joint.jobs.len(), 10);
     // Joint never loses to sequential per-model planning.
-    let separate = jps_best_mix_plan(s1.profile(), 5).makespan_ms
-        + jps_best_mix_plan(s2.profile(), 5).makespan_ms;
+    let separate = Strategy::JpsBestMix.plan(s1.profile(), 5).makespan_ms
+        + Strategy::JpsBestMix.plan(s2.profile(), 5).makespan_ms;
     assert!(joint.makespan_ms <= separate + 1e-6);
     // And the schedule respects Johnson across the union.
     assert_eq!(joint.order.len(), 10);
@@ -108,7 +108,7 @@ fn energy_front_on_real_models() {
     let front = pareto_front(s.profile(), 20, &energy);
     assert!(!front.is_empty());
     // The latency-optimal point matches JPS* (same candidate family).
-    let jps = jps_best_mix_plan(s.profile(), 20);
+    let jps = Strategy::JpsBestMix.plan(s.profile(), 20);
     assert!(front[0].makespan_ms <= jps.makespan_ms + 1e-6);
     // Local-only is the zero-radio extreme; it must not dominate the
     // front head in both dimensions.

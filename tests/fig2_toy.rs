@@ -8,7 +8,7 @@
 //! * changing f(l2) from 7 to 5 makes a common cut optimal again.
 
 use mcdnn::prelude::*;
-use mcdnn_partition::{brute_force_plan, jps_best_mix_plan, Plan};
+use mcdnn_partition::{Plan, Strategy};
 use mcdnn_sim::{run_pipeline, simulate, DesConfig};
 
 fn fig2_profile() -> CostProfile {
@@ -38,14 +38,14 @@ fn mixed_cuts_give_13_and_are_optimal() {
     let mixed = Plan::from_cuts(Strategy::Jps, &p, vec![1, 2]);
     assert_eq!(mixed.makespan_ms, 13.0);
 
-    let bf = brute_force_plan(&p, 2);
+    let bf = Strategy::BruteForce.plan(&p, 2);
     assert_eq!(bf.makespan_ms, 13.0);
     let mut cuts = bf.cuts.clone();
     cuts.sort_unstable();
     assert_eq!(cuts, vec![1, 2]);
 
     // JPS* discovers the same optimum.
-    let jps = jps_best_mix_plan(&p, 2);
+    let jps = Strategy::JpsBestMix.plan(&p, 2);
     assert_eq!(jps.makespan_ms, 13.0);
 }
 
@@ -67,7 +67,7 @@ fn changing_7_to_5_flips_the_optimum() {
         None,
     );
     let common_l2 = Plan::from_cuts(Strategy::Jps, &p, vec![2, 2]);
-    let bf = brute_force_plan(&p, 2);
+    let bf = Strategy::BruteForce.plan(&p, 2);
     assert_eq!(
         common_l2.makespan_ms, bf.makespan_ms,
         "a common cut is optimal after the flip"

@@ -16,7 +16,7 @@ use mcdnn::prelude::{johnson_order, makespan, CostProfile, FlowJob};
 use mcdnn_flowshop::kernels::{
     johnson_blocks_makespan, two_type_mix_makespan, uniform_makespan,
 };
-use mcdnn_partition::{jps_best_mix_plan, jps_plan, reference};
+use mcdnn_partition::{reference, Strategy};
 use mcdnn_rng::Rng;
 
 /// Random monotone profile (f up from 0, g down to 0) like clustering
@@ -112,7 +112,7 @@ fn jps_plan_bit_identical_to_reference() {
     for _ in 0..64 {
         let profile = random_monotone_profile(&mut rng, 20);
         for n in [0usize, 1, 2, 3, rng.gen_range(4..=200usize)] {
-            let fast = jps_plan(&profile, n);
+            let fast = Strategy::Jps.plan(&profile, n);
             let slow = reference::jps_plan(&profile, n);
             assert_eq!(fast, slow, "jps_plan diverged at n={n}");
         }
@@ -125,7 +125,7 @@ fn jps_best_mix_plan_bit_identical_to_reference() {
     for _ in 0..48 {
         let profile = random_monotone_profile(&mut rng, 16);
         for n in [0usize, 1, 2, 3, rng.gen_range(4..=120usize)] {
-            let fast = jps_best_mix_plan(&profile, n);
+            let fast = Strategy::JpsBestMix.plan(&profile, n);
             let slow = reference::jps_best_mix_plan(&profile, n);
             assert_eq!(fast, slow, "jps_best_mix_plan diverged at n={n}");
         }

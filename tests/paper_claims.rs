@@ -7,7 +7,7 @@ use mcdnn::experiment::{bandwidth_sweep, benefit_range, ratio_sweep};
 use mcdnn::prelude::*;
 use mcdnn_flowshop::{best_permutation, makespan_closed_form};
 use mcdnn_partition::{
-    balanced_cut_continuous, binary_search_cut, brute_force_plan, duality_gap, theorem53_condition, Plan,
+    balanced_cut_continuous, binary_search_cut, duality_gap, theorem53_condition, Plan, Strategy,
 };
 
 /// §1, Fig. 2 — "partitioning DNNs at different positions is a better
@@ -137,7 +137,7 @@ fn claim_theorem_53_two_types_suffice() {
         let mut cuts = vec![s.l_star - 1; n / 2];
         cuts.extend(std::iter::repeat_n(s.l_star, n - n / 2));
         let mixed = Plan::from_cuts(Strategy::Jps, &p, cuts).makespan_ms;
-        assert_eq!(mixed, brute_force_plan(&p, n).makespan_ms, "n = {n}");
+        assert_eq!(mixed, Strategy::BruteForce.plan(&p, n).makespan_ms, "n = {n}");
     }
 }
 

@@ -10,9 +10,9 @@
 use mcdnn::prelude::{johnson_order, makespan, CostProfile, FlowJob, Strategy};
 use mcdnn_flowshop::{best_permutation, makespan_closed_form, two_stage_lower_bound};
 use mcdnn_partition::{
-    balanced_cut_continuous, binary_search_cut, brute_force_plan,
+    balanced_cut_continuous, binary_search_cut,
     continuous::{interp, kkt_residual, relaxed_objective},
-    jps_best_mix_plan, theorem53_condition, Plan,
+    theorem53_condition, Plan,
 };
 use mcdnn_rng::Rng;
 
@@ -191,7 +191,7 @@ fn jps_best_mix_never_beaten_by_uniform_cuts() {
     for _ in 0..64 {
         let profile = random_monotone_profile(&mut rng, 12);
         let n = rng.gen_range(1..12usize);
-        let star = jps_best_mix_plan(&profile, n).makespan_ms;
+        let star = Strategy::JpsBestMix.plan(&profile, n).makespan_ms;
         for l in 0..=profile.k() {
             let uniform = Plan::from_cuts(Strategy::Jps, &profile, vec![l; n]).makespan_ms;
             assert!(star <= uniform + 1e-9);
@@ -205,8 +205,8 @@ fn brute_force_dominates_jps() {
     for _ in 0..64 {
         let profile = random_monotone_profile(&mut rng, 5);
         let n = rng.gen_range(1..5usize);
-        let bf = brute_force_plan(&profile, n).makespan_ms;
-        let jps = jps_best_mix_plan(&profile, n).makespan_ms;
+        let bf = Strategy::BruteForce.plan(&profile, n).makespan_ms;
+        let jps = Strategy::JpsBestMix.plan(&profile, n).makespan_ms;
         assert!(bf <= jps + 1e-9);
     }
 }
@@ -253,7 +253,7 @@ fn theorem53_two_types_reach_brute_force() {
         let s = binary_search_cut(p);
         assert!(theorem53_condition(p, s.l_star), "conditions must hold");
         for n in [2usize, 4, 6] {
-            let bf = brute_force_plan(p, n).makespan_ms;
+            let bf = Strategy::BruteForce.plan(p, n).makespan_ms;
             let mixed = {
                 let mut cuts = vec![s.l_star - 1; n / 2];
                 cuts.extend(std::iter::repeat_n(s.l_star, n - n / 2));
@@ -278,7 +278,7 @@ fn average_makespan_limit_formula() {
     );
     let mut errs = Vec::new();
     for n in [10usize, 100, 1000] {
-        let plan = jps_best_mix_plan(&p, n);
+        let plan = Strategy::JpsBestMix.plan(&p, n);
         let mean_f: f64 = plan.cuts.iter().map(|&c| p.f(c)).sum::<f64>() / n as f64;
         let mean_g: f64 = plan.cuts.iter().map(|&c| p.g(c)).sum::<f64>() / n as f64;
         let limit = mean_f.max(mean_g);
