@@ -1,0 +1,96 @@
+//! Frontier-vs-planner sweep over the whole model zoo.
+//!
+//! The compiled [`RateFrontier`] claims to reproduce `Strategy::try_plan`
+//! at every bandwidth in its range. The unit tests pin that on synthetic
+//! profiles; this integration test pins it on every real model in
+//! [`mcdnn_models::Model::ALL`], both JPS strategies, across 1 000
+//! log-spaced bandwidths from congested (0.25 Mbps) to LAN-class
+//! (400 Mbps). A plan mismatch is tolerated only as an exact tie: the
+//! two plans' makespans must agree to 1e-9 relative (kernel pricing vs
+//! recurrence rounding).
+
+use mcdnn_models::Model;
+use mcdnn_partition::{RateFrontier, RateProfile, Strategy};
+use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, NetworkModel};
+
+const LO_MBPS: f64 = 0.25;
+const HI_MBPS: f64 = 400.0;
+const SAMPLES: usize = 1_000;
+const SETUP_MS: f64 = 10.0;
+const N_JOBS: usize = 6;
+
+fn sample_mbps(i: usize) -> f64 {
+    let t = i as f64 / (SAMPLES - 1) as f64;
+    LO_MBPS * (HI_MBPS / LO_MBPS).powf(t)
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-12)
+}
+
+#[test]
+fn frontier_matches_try_plan_for_every_zoo_model() {
+    let mobile = DeviceModel::raspberry_pi4();
+    for model in Model::ALL {
+        let line = model.line().expect("zoo model has a line view");
+        let rate = RateProfile::evaluate(&line, &mobile, &CloudModel::Negligible, SETUP_MS);
+        for strategy in [Strategy::Jps, Strategy::JpsBestMix] {
+            let frontier =
+                match RateFrontier::compile(&rate, strategy, N_JOBS, LO_MBPS, HI_MBPS) {
+                    Ok(f) => f,
+                    Err(err) => {
+                        // Compilation rejects exactly the profiles the
+                        // planner itself rejects: at the congested end
+                        // any bytes inversion dominates the planner's
+                        // 1e-12 ms tolerance, so try_plan must fail too.
+                        let low = rate.profile_at(LO_MBPS);
+                        assert!(
+                            strategy.try_plan(&low, N_JOBS).is_err(),
+                            "{model}: frontier rejected ({err:?}) but try_plan accepted"
+                        );
+                        continue;
+                    }
+                };
+            // Breakpoint sanity: one piece per uniform cut plus one per
+            // (adjacent pair, allocation) mix candidate.
+            let bound = rate.k() + 1 + rate.k() * (N_JOBS + 1);
+            assert!(
+                frontier.num_pieces() <= bound,
+                "{model} {strategy:?}: {} pieces exceeds bound {bound}",
+                frontier.num_pieces()
+            );
+            let mut exact = 0usize;
+            for i in 0..SAMPLES {
+                let b = sample_mbps(i);
+                let direct_profile = CostProfile::evaluate(
+                    &line,
+                    &mobile,
+                    &NetworkModel::new(b, SETUP_MS),
+                    &CloudModel::Negligible,
+                );
+                let direct = strategy
+                    .try_plan(&direct_profile, N_JOBS)
+                    .expect("frontier compiled, so the planner must accept");
+                let from_frontier = frontier.plan_at(b);
+                if from_frontier == direct {
+                    exact += 1;
+                } else {
+                    assert!(
+                        rel_diff(from_frontier.makespan_ms, direct.makespan_ms) <= 1e-9,
+                        "{model} {strategy:?} at {b} Mbps: frontier {:?} ({}) vs planner {:?} ({})",
+                        from_frontier.cuts,
+                        from_frontier.makespan_ms,
+                        direct.cuts,
+                        direct.makespan_ms
+                    );
+                }
+            }
+            // Ties should be rare: the frontier probes the planner's own
+            // candidate scan, so almost every sample is bit-identical.
+            assert!(
+                exact >= SAMPLES * 99 / 100,
+                "{model} {strategy:?}: only {exact}/{SAMPLES} samples bit-identical"
+            );
+        }
+    }
+}

@@ -796,11 +796,13 @@ mod tests {
         assert!(content.contains("mobile CPU"));
     }
 
+    // Every --emit-metrics run resets the process-global registry, so
+    // tests that snapshot metrics must not overlap.
+    static METRICS_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn plan_emit_trace_and_metrics() {
-        // One test exercises both flags: each emitting run resets the
-        // process-global registry, so two parallel tests would clobber
-        // each other's data.
+        let _gate = METRICS_GATE.lock().unwrap_or_else(|e| e.into_inner());
         let dir = std::env::temp_dir().join("mcdnn-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let trace = dir.join("unified.trace.json");
@@ -965,6 +967,43 @@ mod tests {
         let parsed = mcdnn_obs::json::parse(&doc).expect("trace is valid JSON");
         assert!(!parsed.as_array().unwrap().is_empty());
         assert!(doc.contains("\"name\":\"faults\""), "fault row named");
+    }
+
+    #[test]
+    fn chaos_emit_metrics_exports_frontier_and_arena_counters() {
+        let _gate = METRICS_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("mcdnn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("chaos.metrics.json");
+        let out = run_str(&[
+            "chaos", "--model", "alexnet", "--bandwidth", "18.88", "--seed", "7",
+            "--emit-metrics", metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("metrics snapshot"));
+        let snap = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = mcdnn_obs::json::parse(&snap).expect("metrics are valid JSON");
+        let counters = parsed.get("counters").expect("counters object");
+        // The chaos grid shares one compiled ladder frontier across all
+        // scenario × policy replays; the drill's faulted DES runs in an
+        // arena. Both must surface in the exported snapshot.
+        for key in ["frontier.ladder.compile", "frontier.ladder.lookups", "des.arena.runs"] {
+            assert!(
+                counters.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0) >= 1.0,
+                "counter {key} missing from snapshot: {snap}"
+            );
+        }
+        assert!(
+            counters
+                .get("frontier.ladder.compile")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::MAX)
+                <= counters
+                    .get("frontier.ladder.lookups")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0),
+            "one shared compile serves many lookups: {snap}"
+        );
     }
 
     #[test]

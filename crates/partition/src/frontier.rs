@@ -1,0 +1,946 @@
+//! Bandwidth-frontier compilation: the optimal JPS plan as a
+//! piecewise-constant function of uplink bandwidth.
+//!
+//! The paper's monotonicity results make the planner's decision
+//! *structurally stable* in bandwidth: `f` does not depend on the link
+//! at all (Theorem 5.2's non-decreasing mobile stage) and
+//! `g(l; b) = setup + bits(l)/b` is affine in `1/b` (Theorem 5.3's
+//! non-increasing upload stage). Every candidate the JPS scan scores —
+//! a uniform cut or a two-type mix — therefore has a score that is
+//! piecewise affine in `1/b`, and the argmin of finitely many such
+//! curves is **piecewise constant in `b`**. Instead of re-running the
+//! full planning pass per burst, [`RateFrontier::compile`] computes the
+//! breakpoint list once and [`RateFrontier::plan_at`] answers any
+//! bandwidth with a binary search.
+//!
+//! Exactness contract: at every bandwidth inside the compiled range,
+//! [`RateFrontier::plan_at`] materializes its stored decision through
+//! the same [`Plan::from_cuts`] path the planner uses, so wherever the
+//! compiled decision matches the planner's winner the plans are
+//! bit-identical — cuts, Johnson order and makespan. Breakpoints are
+//! refined by bisection to ~1e-13 relative precision; inside those
+//! vanishing slivers the two decisions tie to the same precision (the
+//! winner changes exactly where two candidate scores cross, and both
+//! scores are continuous in `b`). The sweep tests and
+//! `frontier_bench` hold this obligation to 1k+ sampled bandwidths per
+//! model.
+//!
+//! [`PlanCache`] shares compiled frontiers across call sites keyed by
+//! *content* (stage vectors, job count, strategy, range), so two
+//! profiles that happen to share a name never collide and a profile
+//! re-evaluated from the same model × device hits the cache.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mcdnn_flowshop::kernels::{two_type_mix_makespan, uniform_makespan};
+use mcdnn_graph::LineDnn;
+use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, ProfileError};
+
+use crate::error::PlanError;
+use crate::jps::{winning_candidate, Candidate};
+use crate::plan::{Plan, Strategy};
+
+/// A [`CostProfile`] family parameterized by uplink bandwidth: the
+/// bandwidth-independent parts (mobile times, upload volumes, channel
+/// setup, cloud times) from which the concrete profile at any bandwidth
+/// `b` is reproduced **bit-identically** to
+/// [`CostProfile::evaluate`] under `NetworkModel::new(b, setup_ms)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateProfile {
+    name: String,
+    f_ms: Vec<f64>,
+    bytes: Vec<usize>,
+    cloud_ms: Vec<f64>,
+    setup_ms: f64,
+}
+
+impl RateProfile {
+    /// Evaluate the bandwidth-parameterized profile of `line` on the
+    /// given platform. Mirrors [`CostProfile::evaluate`] with the
+    /// network reduced to its bandwidth-independent `setup_ms`.
+    pub fn evaluate(
+        line: &LineDnn,
+        mobile: &DeviceModel,
+        cloud: &CloudModel,
+        setup_ms: f64,
+    ) -> Self {
+        let k = line.k();
+        let mut f_ms = Vec::with_capacity(k + 1);
+        let mut bytes = Vec::with_capacity(k + 1);
+        let mut cloud_ms = Vec::with_capacity(k + 1);
+        for cut in 0..=k {
+            f_ms.push(mobile.time_ms(line.mobile_flops(cut), cut));
+            bytes.push(line.offload_bytes(cut));
+            cloud_ms.push(cloud.time_ms(line.cloud_flops(cut), k - cut));
+        }
+        RateProfile {
+            name: line.name().to_string(),
+            f_ms,
+            bytes,
+            cloud_ms,
+            setup_ms,
+        }
+    }
+
+    /// Build directly from stage vectors (synthetic workloads, tests).
+    ///
+    /// Validates the same shape invariants as [`CostProfile::try_new`]
+    /// (by constructing the profile at 1 Mbps): `f[0] == 0`,
+    /// `bytes[k] == 0` so `g(k) = 0`, matching lengths, finite entries.
+    pub fn from_parts(
+        name: impl Into<String>,
+        f_ms: Vec<f64>,
+        bytes: Vec<usize>,
+        setup_ms: f64,
+        cloud_ms: Option<Vec<f64>>,
+    ) -> Result<Self, ProfileError> {
+        assert!(setup_ms >= 0.0, "setup latency cannot be negative");
+        let cloud_ms = cloud_ms.unwrap_or_else(|| vec![0.0; f_ms.len()]);
+        let rate = RateProfile {
+            name: name.into(),
+            f_ms,
+            bytes,
+            cloud_ms,
+            setup_ms,
+        };
+        // g at any bandwidth has the same zero pattern; probe at 1 Mbps.
+        rate.try_profile_at(1.0).map(|_| rate)
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of layers `k` (cuts range over `0..=k`).
+    pub fn k(&self) -> usize {
+        self.f_ms.len() - 1
+    }
+
+    /// Channel setup latency, ms.
+    pub fn setup_ms(&self) -> f64 {
+        self.setup_ms
+    }
+
+    /// Upload volume in bytes at cut `l`.
+    pub fn bytes(&self, cut: usize) -> usize {
+        self.bytes[cut]
+    }
+
+    /// Upload time of cut `l` at bandwidth `b` Mbps — the exact
+    /// expression of `NetworkModel::upload_ms`, reproduced term by term
+    /// so profiles rebuilt here are bit-identical to evaluated ones.
+    #[inline]
+    pub fn upload_ms_at(&self, cut: usize, bandwidth_mbps: f64) -> f64 {
+        let bytes = self.bytes[cut];
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.setup_ms + bytes as f64 * 8.0 / (bandwidth_mbps * 1e3)
+    }
+
+    /// The concrete [`CostProfile`] at bandwidth `b` Mbps.
+    pub fn profile_at(&self, bandwidth_mbps: f64) -> CostProfile {
+        self.try_profile_at(bandwidth_mbps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_profile_at(&self, bandwidth_mbps: f64) -> Result<CostProfile, ProfileError> {
+        assert!(
+            bandwidth_mbps > 0.0 && bandwidth_mbps.is_finite(),
+            "bandwidth must be positive and finite"
+        );
+        let g_ms = (0..self.f_ms.len())
+            .map(|l| self.upload_ms_at(l, bandwidth_mbps))
+            .collect();
+        CostProfile::try_new(
+            self.name.clone(),
+            self.f_ms.clone(),
+            g_ms,
+            Some(self.cloud_ms.clone()),
+        )
+    }
+
+    /// Exact two-stage kernel makespan of a [`CutMix`] for `n` jobs at
+    /// bandwidth `b` — O(1), no profile materialization. Equals the
+    /// materialized plan's makespan when the cloud stage is negligible
+    /// (the paper's regime; with a non-negligible cloud the planner's
+    /// own candidate scores ignore it identically).
+    pub fn mix_makespan(&self, n: usize, mix: CutMix, bandwidth_mbps: f64) -> f64 {
+        match mix {
+            CutMix::Uniform { cut } => {
+                uniform_makespan(n, self.f_ms[cut], self.upload_ms_at(cut, bandwidth_mbps))
+            }
+            CutMix::Mix {
+                prev,
+                star,
+                at_prev,
+            } => two_type_mix_makespan(
+                at_prev,
+                self.f_ms[prev],
+                self.upload_ms_at(prev, bandwidth_mbps),
+                n - at_prev,
+                self.f_ms[star],
+                self.upload_ms_at(star, bandwidth_mbps),
+            ),
+        }
+    }
+
+    /// `Err` when the profile violates the clustered monotonicity the
+    /// JPS theory assumes, for *some* bandwidth in `(0, ∞)`:
+    ///
+    /// * `f` must be non-decreasing (bandwidth-independent, same
+    ///   tolerance as [`CostProfile::f_is_monotone`]);
+    /// * `g` is non-increasing at **every** bandwidth iff the upload
+    ///   volumes are non-increasing wherever the successor still
+    ///   uploads (`bytes[l+1] > 0 ⇒ bytes[l] ≥ bytes[l+1]`; a zero
+    ///   entry means `g = 0` regardless of bandwidth).
+    pub fn check_monotone(&self) -> Result<(), PlanError> {
+        if let Some(at) = self
+            .f_ms
+            .windows(2)
+            .position(|w| w[1] < w[0] - 1e-12)
+        {
+            return Err(PlanError::NonMonotoneF { at: at + 1 });
+        }
+        if let Some(at) = self
+            .bytes
+            .windows(2)
+            .position(|w| w[1] > 0 && w[0] < w[1])
+        {
+            return Err(PlanError::NonMonotoneG { at: at + 1 });
+        }
+        Ok(())
+    }
+}
+
+/// The cut structure of a JPS decision, normalized so that equal plans
+/// compare equal: a mix with all jobs on one side collapses to the
+/// uniform cut it materializes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CutMix {
+    /// All `n` jobs cut at one layer.
+    Uniform {
+        /// The shared cut layer.
+        cut: usize,
+    },
+    /// Two adjacent cut types (Theorem 5.3): `at_prev` jobs at `prev`,
+    /// the rest at `star = prev + 1`.
+    Mix {
+        /// The communication-heavy cut `l* − 1`.
+        prev: usize,
+        /// The computation-heavy cut `l*`.
+        star: usize,
+        /// Jobs assigned to `prev` (strictly between 0 and `n`).
+        at_prev: usize,
+    },
+}
+
+impl CutMix {
+    fn from_candidate(search_prev: Option<usize>, search_star: usize, cand: Candidate, n: usize) -> Self {
+        match cand {
+            Candidate::Uniform(l) => CutMix::Uniform { cut: l },
+            Candidate::Mix { at_prev } => {
+                let prev = search_prev.expect("Mix candidates require l_prev");
+                if at_prev == 0 {
+                    CutMix::Uniform { cut: search_star }
+                } else if at_prev == n {
+                    CutMix::Uniform { cut: prev }
+                } else {
+                    CutMix::Mix {
+                        prev,
+                        star: search_star,
+                        at_prev,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The per-job cut vector this decision materializes into — the
+    /// exact layout of the planner's winning candidate (`prev` block
+    /// first, then `star`).
+    pub fn cuts(&self, n: usize) -> Vec<usize> {
+        match *self {
+            CutMix::Uniform { cut } => vec![cut; n],
+            CutMix::Mix {
+                prev,
+                star,
+                at_prev,
+            } => {
+                let mut cuts = vec![prev; at_prev];
+                cuts.extend(std::iter::repeat_n(star, n - at_prev));
+                cuts
+            }
+        }
+    }
+}
+
+/// An O(1) frontier answer: the winning cut structure at the queried
+/// bandwidth plus its exact two-stage kernel makespan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierDecision {
+    /// The winning cut structure.
+    pub mix: CutMix,
+    /// Two-stage kernel makespan at the queried bandwidth, ms.
+    pub makespan_ms: f64,
+}
+
+/// Initial geometric sampling density of the compile sweep. Seeded
+/// crossing bandwidths are added on top, so narrow regimes around
+/// the balance points are never straddled unseen.
+const COMPILE_SAMPLES: usize = 769;
+/// Relative breakpoint refinement tolerance.
+const BREAKPOINT_TOL: f64 = 1e-13;
+/// Audit sweep density: adjacent audit probes are at most this ratio
+/// apart, denser than any consumer's query lattice (the zoo sweep test
+/// and the bench both step ≥ 1.007×).
+const AUDIT_RATIO: f64 = 1.004;
+/// Audit passes are a fixpoint loop; this cap only guards against float
+/// pathologies (each pass must insert at least one new grid point).
+const MAX_AUDIT_PASSES: usize = 16;
+
+/// The compiled bandwidth frontier of one `(profile, strategy, n)`
+/// triple: sorted breakpoints and the optimal [`CutMix`] on each
+/// interval. See the module docs for the exactness contract.
+#[derive(Debug, Clone)]
+pub struct RateFrontier {
+    profile: RateProfile,
+    strategy: Strategy,
+    n: usize,
+    lo_mbps: f64,
+    hi_mbps: f64,
+    /// `starts[i]` begins piece `i`; piece `i` covers
+    /// `[starts[i], starts[i+1])` (the last runs to `hi_mbps`].
+    starts: Vec<f64>,
+    sigs: Vec<CutMix>,
+}
+
+impl RateFrontier {
+    /// Compile the frontier of `strategy` (must be [`Strategy::Jps`] or
+    /// [`Strategy::JpsBestMix`]) for `n ≥ 1` jobs over bandwidths
+    /// `[lo_mbps, hi_mbps]`.
+    ///
+    /// Fails with the same [`PlanError`] monotonicity diagnostics as
+    /// [`Strategy::try_plan`] when the profile violates the clustered
+    /// shape at some bandwidth in the range.
+    pub fn compile(
+        profile: &RateProfile,
+        strategy: Strategy,
+        n: usize,
+        lo_mbps: f64,
+        hi_mbps: f64,
+    ) -> Result<RateFrontier, PlanError> {
+        assert!(
+            matches!(strategy, Strategy::Jps | Strategy::JpsBestMix),
+            "frontier compilation supports the JPS strategies, got {strategy:?}"
+        );
+        assert!(n >= 1, "need at least one job");
+        assert!(
+            lo_mbps > 0.0 && lo_mbps < hi_mbps && hi_mbps.is_finite(),
+            "need 0 < lo < hi"
+        );
+        let started = std::time::Instant::now();
+        profile.check_monotone()?;
+        let best_mix = strategy == Strategy::JpsBestMix;
+        let mut probes: u64 = 0;
+        let mut probe = |b: f64| -> CutMix {
+            probes += 1;
+            let cp = profile.profile_at(b);
+            let (search, cand) = winning_candidate(&cp, n, best_mix);
+            CutMix::from_candidate(search.l_prev, search.l_star, cand, n)
+        };
+
+        // Sample grid: geometric lattice plus two analytic seed
+        // families — the bandwidths where g(l; b) crosses some f(m)
+        // (the l* regime flips of Alg. 2 and the min/max kinks of the
+        // uniform kernel) and the pairwise crossings of the uniform
+        // candidates' kernel scores (affine in 1/b within each kink
+        // regime), which is where the argmin among Theorem 5.2's
+        // family flips.
+        let mut grid: Vec<f64> = (0..COMPILE_SAMPLES)
+            .map(|i| {
+                let t = i as f64 / (COMPILE_SAMPLES - 1) as f64;
+                lo_mbps * (hi_mbps / lo_mbps).powf(t)
+            })
+            .collect();
+        let seed = |b: f64, grid: &mut Vec<f64>| {
+            if b.is_finite() && b > lo_mbps && b < hi_mbps {
+                grid.push(b);
+            }
+        };
+        // g(l; b) = sigma(l) + kbits(l)/b, with sigma = 0 for the
+        // zero-bytes tail (upload of nothing costs nothing, not setup).
+        let kbits = |l: usize| profile.bytes(l) as f64 * 8.0 / 1e3;
+        let sigma = |l: usize| {
+            if profile.bytes(l) == 0 {
+                0.0
+            } else {
+                profile.setup_ms
+            }
+        };
+        for l in 0..=profile.k() {
+            if profile.bytes(l) == 0 {
+                continue;
+            }
+            for &f in profile.f_ms.iter() {
+                seed(kbits(l) / (f - sigma(l)), &mut grid);
+            }
+        }
+        let nf = n as f64;
+        for l in 0..=profile.k() {
+            let (fl, cl, sl) = (profile.f_ms[l], kbits(l), sigma(l));
+            for m in (l + 1)..=profile.k() {
+                let (fm, cm, sm) = (profile.f_ms[m], kbits(m), sigma(m));
+                // One candidate 1/b crossing per (comm/compute)² kink
+                // regime; seeds outside their regime are harmless
+                // extra probes.
+                for u in [
+                    (fm + nf * sm - fl - nf * sl) / (nf * (cl - cm)),
+                    (nf * fm + sm - nf * fl - sl) / (cl - cm),
+                    (nf * fm + sm - fl - nf * sl) / (nf * cl - cm),
+                    (fm + nf * sm - nf * fl - sl) / (cl - nf * cm),
+                ] {
+                    if u > 0.0 {
+                        seed(1.0 / u, &mut grid);
+                    }
+                }
+            }
+        }
+        grid.sort_by(f64::total_cmp);
+        grid.dedup();
+        *grid.first_mut().expect("non-empty grid") = lo_mbps;
+        *grid.last_mut().expect("non-empty grid") = hi_mbps;
+
+        // Walk the grid; bisect every adjacent pair whose decisions
+        // differ down to the breakpoint.
+        let (mut starts, mut sigs) = walk(&mut probe, &grid);
+
+        // Audit fixpoint: sweep a lattice denser than any consumer's
+        // query grid plus the midpoint of every compiled piece; any
+        // probe that disagrees with the compiled decision becomes a new
+        // grid point and the walk reruns. Narrow mix-vs-uniform regimes
+        // (their crossings are not in the analytic seed families) get
+        // zoomed into rather than lost.
+        let audit_steps =
+            ((hi_mbps / lo_mbps).ln() / AUDIT_RATIO.ln()).ceil().max(1.0) as usize;
+        for _pass in 0..MAX_AUDIT_PASSES {
+            let mut extra: Vec<f64> = Vec::new();
+            let lattice = (1..audit_steps).map(|i| {
+                lo_mbps * (hi_mbps / lo_mbps).powf(i as f64 / audit_steps as f64)
+            });
+            let midpoints = (0..starts.len()).map(|i| {
+                let lo = starts[i];
+                let hi = starts.get(i + 1).copied().unwrap_or(hi_mbps);
+                (lo * hi).sqrt()
+            });
+            for b in lattice.chain(midpoints) {
+                if b <= lo_mbps || b >= hi_mbps {
+                    continue;
+                }
+                let idx = starts.partition_point(|s| *s <= b) - 1;
+                if probe(b) != sigs[idx] {
+                    extra.push(b);
+                }
+            }
+            if extra.is_empty() {
+                break;
+            }
+            grid.extend(extra);
+            grid.sort_by(f64::total_cmp);
+            grid.dedup();
+            (starts, sigs) = walk(&mut probe, &grid);
+        }
+
+        mcdnn_obs::counter_add("frontier.compile", 1);
+        mcdnn_obs::counter_add("frontier.compile_probes", probes);
+        mcdnn_obs::observe_ms(
+            "frontier.compile_ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        Ok(RateFrontier {
+            profile: profile.clone(),
+            strategy,
+            n,
+            lo_mbps,
+            hi_mbps,
+            starts,
+            sigs,
+        })
+    }
+
+    /// The strategy this frontier was compiled for.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The job count this frontier was compiled for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Compiled bandwidth range `(lo, hi)` in Mbps.
+    pub fn range_mbps(&self) -> (f64, f64) {
+        (self.lo_mbps, self.hi_mbps)
+    }
+
+    /// The underlying bandwidth-parameterized profile.
+    pub fn profile(&self) -> &RateProfile {
+        &self.profile
+    }
+
+    /// Number of constant pieces.
+    pub fn num_pieces(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Piece start bandwidths, ascending; `breakpoints()[0]` is the
+    /// range start, so there are `num_pieces()` entries.
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.starts
+    }
+
+    /// True when `b` lies inside the compiled range.
+    pub fn covers(&self, bandwidth_mbps: f64) -> bool {
+        (self.lo_mbps..=self.hi_mbps).contains(&bandwidth_mbps)
+    }
+
+    fn sig_at(&self, bandwidth_mbps: f64) -> CutMix {
+        let idx = self.starts.partition_point(|s| *s <= bandwidth_mbps) - 1;
+        self.sigs[idx]
+    }
+
+    /// O(log B) lookup: the winning cut structure and its exact kernel
+    /// makespan at bandwidth `b`. Outside the compiled range this falls
+    /// back to a direct planning pass (counted as `frontier.oob`).
+    pub fn decide_at(&self, bandwidth_mbps: f64) -> FrontierDecision {
+        if self.covers(bandwidth_mbps) {
+            mcdnn_obs::counter_add("frontier.lookups", 1);
+            let mix = self.sig_at(bandwidth_mbps);
+            FrontierDecision {
+                mix,
+                makespan_ms: self.profile.mix_makespan(self.n, mix, bandwidth_mbps),
+            }
+        } else {
+            mcdnn_obs::counter_add("frontier.oob", 1);
+            let cp = self.profile.profile_at(bandwidth_mbps);
+            let (search, cand) =
+                winning_candidate(&cp, self.n, self.strategy == Strategy::JpsBestMix);
+            let mix = CutMix::from_candidate(search.l_prev, search.l_star, cand, self.n);
+            FrontierDecision {
+                mix,
+                makespan_ms: self.profile.mix_makespan(self.n, mix, bandwidth_mbps),
+            }
+        }
+    }
+
+    /// The full materialized [`Plan`] at bandwidth `b` — identical to
+    /// what `self.strategy().plan(&profile_at(b), n)` returns wherever
+    /// the compiled decision matches the planner's winner (see the
+    /// module docs), including the exact recurrence `makespan_ms`.
+    pub fn plan_at(&self, bandwidth_mbps: f64) -> Plan {
+        let decision = self.decide_at(bandwidth_mbps);
+        let cp = self.profile.profile_at(bandwidth_mbps);
+        Plan::from_cuts(self.strategy, &cp, decision.mix.cuts(self.n))
+    }
+
+    /// Audit helper: sweep `samples` log-spaced bandwidths across the
+    /// compiled range and verify [`RateFrontier::plan_at`] against a
+    /// direct [`Strategy::plan`] call — bit-identical plans, or (on
+    /// breakpoint ties) equal makespans to 1e-9 relative. Returns the
+    /// number of mismatches (0 = exact).
+    pub fn audit_against_planner(&self, samples: usize) -> usize {
+        assert!(samples >= 2);
+        let mut mismatches = 0;
+        for i in 0..samples {
+            let t = i as f64 / (samples - 1) as f64;
+            let b = self.lo_mbps * (self.hi_mbps / self.lo_mbps).powf(t);
+            let fast = self.plan_at(b);
+            let slow = self.strategy.plan(&self.profile.profile_at(b), self.n);
+            let tied = (fast.makespan_ms - slow.makespan_ms).abs()
+                <= 1e-9 * slow.makespan_ms.abs().max(1.0);
+            if fast != slow && !tied {
+                mismatches += 1;
+            }
+        }
+        mismatches
+    }
+}
+
+/// One sweep of the compile loop: probe every grid point in order and
+/// bisect each adjacent pair whose decisions differ. Returns the piece
+/// starts and signatures (adjacent equal signatures merged).
+fn walk(
+    probe: &mut impl FnMut(f64) -> CutMix,
+    grid: &[f64],
+) -> (Vec<f64>, Vec<CutMix>) {
+    let mut starts = vec![grid[0]];
+    let mut sigs = vec![probe(grid[0])];
+    let mut prev_b = grid[0];
+    let mut prev_sig = sigs[0];
+    for &b in &grid[1..] {
+        let sig = probe(b);
+        refine(probe, prev_b, prev_sig, b, sig, &mut starts, &mut sigs);
+        prev_b = b;
+        prev_sig = sig;
+    }
+    (starts, sigs)
+}
+
+/// Recursive breakpoint refinement between two probed bandwidths whose
+/// decisions differ: geometric bisection down to [`BREAKPOINT_TOL`],
+/// emitting each discovered piece transition in ascending order.
+fn refine(
+    probe: &mut impl FnMut(f64) -> CutMix,
+    lo: f64,
+    sig_lo: CutMix,
+    hi: f64,
+    sig_hi: CutMix,
+    starts: &mut Vec<f64>,
+    sigs: &mut Vec<CutMix>,
+) {
+    if sig_lo == sig_hi {
+        return;
+    }
+    if hi - lo <= lo * BREAKPOINT_TOL {
+        // Converged: `hi` starts the next piece (merge if the caller
+        // already emitted this sig — possible when a sliver resolves to
+        // the surrounding decision).
+        if *sigs.last().expect("seeded with the range start") != sig_hi {
+            starts.push(hi);
+            sigs.push(sig_hi);
+        }
+        return;
+    }
+    let mut mid = (lo * hi).sqrt();
+    if mid <= lo || mid >= hi {
+        mid = lo + (hi - lo) * 0.5;
+    }
+    if mid <= lo || mid >= hi {
+        // No representable point strictly between: treat as converged.
+        if *sigs.last().expect("seeded with the range start") != sig_hi {
+            starts.push(hi);
+            sigs.push(sig_hi);
+        }
+        return;
+    }
+    let sig_mid = probe(mid);
+    refine(probe, lo, sig_lo, mid, sig_mid, starts, sigs);
+    refine(probe, mid, sig_mid, hi, sig_hi, starts, sigs);
+}
+
+/// Content-addressed key: two distinct profiles never collide even if
+/// they share a display name, and re-evaluating the same model × device
+/// reproduces the same key bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    f_bits: Vec<u64>,
+    bytes: Vec<usize>,
+    cloud_bits: Vec<u64>,
+    setup_bits: u64,
+    strategy: Strategy,
+    n: usize,
+    lo_bits: u64,
+    hi_bits: u64,
+}
+
+impl CacheKey {
+    fn new(profile: &RateProfile, strategy: Strategy, n: usize, lo: f64, hi: f64) -> Self {
+        CacheKey {
+            f_bits: profile.f_ms.iter().map(|v| v.to_bits()).collect(),
+            bytes: profile.bytes.clone(),
+            cloud_bits: profile.cloud_ms.iter().map(|v| v.to_bits()).collect(),
+            setup_bits: profile.setup_ms.to_bits(),
+            strategy,
+            n,
+            lo_bits: lo.to_bits(),
+            hi_bits: hi.to_bits(),
+        }
+    }
+}
+
+/// A shared, thread-safe cache of compiled [`RateFrontier`]s keyed by
+/// profile content × strategy × job count × range. Std-only: a
+/// [`Mutex`]-guarded map handing out [`Arc`]s, so lookups after the
+/// first compile are a hash probe plus an atomic increment.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    inner: Mutex<HashMap<CacheKey, Arc<RateFrontier>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The process-wide cache shared by the simulation loops.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(PlanCache::new)
+    }
+
+    /// Fetch (or compile and insert) the frontier for
+    /// `(profile, strategy, n, lo, hi)`. Compilation runs outside the
+    /// lock, so concurrent misses on different keys do not serialize.
+    /// Errors are not cached — the monotonicity check is cheap.
+    pub fn frontier(
+        &self,
+        profile: &RateProfile,
+        strategy: Strategy,
+        n: usize,
+        lo_mbps: f64,
+        hi_mbps: f64,
+    ) -> Result<Arc<RateFrontier>, PlanError> {
+        let key = CacheKey::new(profile, strategy, n, lo_mbps, hi_mbps);
+        if let Some(hit) = self.inner.lock().expect("cache poisoned").get(&key) {
+            mcdnn_obs::counter_add("frontier.cache.hit", 1);
+            return Ok(Arc::clone(hit));
+        }
+        mcdnn_obs::counter_add("frontier.cache.miss", 1);
+        let compiled = Arc::new(RateFrontier::compile(
+            profile, strategy, n, lo_mbps, hi_mbps,
+        )?);
+        let mut map = self.inner.lock().expect("cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(compiled)))
+    }
+
+    /// Number of cached frontiers.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached frontier (tests; cost-model changes).
+    pub fn clear(&self) {
+        self.inner.lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-layer profile with a rich regime structure: at high
+    /// bandwidth everything offloads, at low bandwidth local-only wins.
+    fn rate_profile() -> RateProfile {
+        RateProfile::from_parts(
+            "frontier-test",
+            vec![0.0, 4.0, 7.0, 20.0],
+            vec![120_000, 60_000, 20_000, 0],
+            2.0,
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_at_matches_evaluated_cost_profile_bitwise() {
+        use mcdnn_graph::LineLayer;
+        use mcdnn_profile::NetworkModel;
+        let line = LineDnn::from_parts(
+            "bitwise",
+            600_000,
+            (1..=5)
+                .map(|i| LineLayer {
+                    name: format!("l{i}"),
+                    flops: 150_000_000 * i as u64,
+                    out_bytes: 600_000 >> i,
+                    nodes: vec![],
+                })
+                .collect(),
+        );
+        let mobile = DeviceModel::new("m", 2e9, 0.2);
+        let rate = RateProfile::evaluate(&line, &mobile, &CloudModel::Negligible, 10.0);
+        for b in [0.3, 1.1, 5.85, 18.88, 250.0] {
+            let direct = CostProfile::evaluate(
+                &line,
+                &mobile,
+                &NetworkModel::new(b, 10.0),
+                &CloudModel::Negligible,
+            );
+            let rebuilt = rate.profile_at(b);
+            assert_eq!(rebuilt.f_all(), direct.f_all());
+            assert_eq!(rebuilt.g_all(), direct.g_all());
+            assert_eq!(rebuilt.cloud_all(), direct.cloud_all());
+        }
+    }
+
+    #[test]
+    fn frontier_matches_planner_across_dense_sweep() {
+        let rate = rate_profile();
+        for strategy in [Strategy::Jps, Strategy::JpsBestMix] {
+            for n in [1usize, 2, 7, 10] {
+                let frontier =
+                    RateFrontier::compile(&rate, strategy, n, 0.05, 500.0).unwrap();
+                assert_eq!(
+                    frontier.audit_against_planner(800),
+                    0,
+                    "{strategy:?} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_piecewise_with_sane_breakpoint_count() {
+        let rate = rate_profile();
+        let n = 10;
+        let frontier =
+            RateFrontier::compile(&rate, Strategy::JpsBestMix, n, 0.05, 500.0).unwrap();
+        assert!(frontier.num_pieces() >= 2, "regimes must actually change");
+        // Breakpoint sanity: at most one piece per uniform cut plus one
+        // per (adjacent pair, allocation) mix candidate — the scan's
+        // candidate families (`at_prev` drifts through 1..n within a
+        // mix regime, so each allocation can own a piece).
+        let bound = rate.k() + 1 + rate.k() * (n + 1);
+        assert!(
+            frontier.num_pieces() <= bound,
+            "{} pieces exceeds candidate bound {bound}",
+            frontier.num_pieces()
+        );
+        // Extremes: dead-slow link is local-only, blazing link offloads
+        // (early cuts only — best-mix may still blend cuts 0 and 1).
+        assert_eq!(
+            frontier.decide_at(0.05).mix,
+            CutMix::Uniform { cut: rate.k() }
+        );
+        assert!(frontier
+            .decide_at(500.0)
+            .mix
+            .cuts(n)
+            .iter()
+            .all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn decide_at_kernel_makespan_matches_materialized_plan() {
+        let rate = rate_profile();
+        let frontier =
+            RateFrontier::compile(&rate, Strategy::JpsBestMix, 8, 0.05, 500.0).unwrap();
+        for i in 0..200 {
+            let b = 0.05 * (500.0f64 / 0.05).powf(i as f64 / 199.0);
+            let d = frontier.decide_at(b);
+            let plan = frontier.plan_at(b);
+            assert!(
+                (d.makespan_ms - plan.makespan_ms).abs() <= 1e-9 * plan.makespan_ms.max(1.0),
+                "b={b}: kernel {} vs plan {}",
+                d.makespan_ms,
+                plan.makespan_ms
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_falls_back_to_direct_planning() {
+        let rate = rate_profile();
+        let frontier = RateFrontier::compile(&rate, Strategy::Jps, 5, 1.0, 10.0).unwrap();
+        for b in [0.2, 64.0] {
+            assert!(!frontier.covers(b));
+            let plan = frontier.plan_at(b);
+            let direct = Strategy::Jps.plan(&rate.profile_at(b), 5);
+            assert_eq!(plan, direct, "oob b={b} must fall back exactly");
+        }
+    }
+
+    #[test]
+    fn non_monotone_bytes_rejected_like_try_plan() {
+        let rate = RateProfile::from_parts(
+            "bumpy",
+            vec![0.0, 4.0, 7.0, 20.0],
+            vec![50_000, 10_000, 20_000, 0],
+            2.0,
+            None,
+        )
+        .unwrap();
+        match RateFrontier::compile(&rate, Strategy::Jps, 4, 0.1, 100.0) {
+            Err(PlanError::NonMonotoneG { at }) => assert_eq!(at, 2),
+            other => panic!("expected NonMonotoneG, got {other:?}"),
+        }
+        // try_plan agrees at a bandwidth where the bump is material.
+        assert!(matches!(
+            Strategy::Jps.try_plan(&rate.profile_at(0.1), 4),
+            Err(PlanError::NonMonotoneG { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_shares_compiled_frontiers_by_content() {
+        let cache = PlanCache::new();
+        let rate = rate_profile();
+        let a = cache
+            .frontier(&rate, Strategy::JpsBestMix, 6, 0.1, 100.0)
+            .unwrap();
+        let b = cache
+            .frontier(&rate, Strategy::JpsBestMix, 6, 0.1, 100.0)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second fetch must be a cache hit");
+        assert_eq!(cache.len(), 1);
+        // Same name, different content: distinct entry.
+        let other = RateProfile::from_parts(
+            "frontier-test",
+            vec![0.0, 5.0, 9.0, 22.0],
+            vec![120_000, 60_000, 20_000, 0],
+            2.0,
+            None,
+        )
+        .unwrap();
+        let c = cache
+            .frontier(&other, Strategy::JpsBestMix, 6, 0.1, 100.0)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_counters_track_hits_and_misses() {
+        mcdnn_obs::set_enabled(true);
+        let cache = PlanCache::new();
+        let rate = rate_profile();
+        let miss0 = mcdnn_obs::counter_value("frontier.cache.miss");
+        let hit0 = mcdnn_obs::counter_value("frontier.cache.hit");
+        cache.frontier(&rate, Strategy::Jps, 3, 0.1, 50.0).unwrap();
+        cache.frontier(&rate, Strategy::Jps, 3, 0.1, 50.0).unwrap();
+        cache.frontier(&rate, Strategy::Jps, 4, 0.1, 50.0).unwrap();
+        assert_eq!(mcdnn_obs::counter_value("frontier.cache.miss") - miss0, 2);
+        assert_eq!(mcdnn_obs::counter_value("frontier.cache.hit") - hit0, 1);
+    }
+
+    #[test]
+    fn mix_makespan_agrees_with_kernels_on_both_shapes() {
+        let rate = rate_profile();
+        let b = 3.0;
+        let uni = rate.mix_makespan(7, CutMix::Uniform { cut: 2 }, b);
+        assert_eq!(
+            uni,
+            uniform_makespan(7, rate.f_ms[2], rate.upload_ms_at(2, b))
+        );
+        let mix = rate.mix_makespan(
+            7,
+            CutMix::Mix {
+                prev: 1,
+                star: 2,
+                at_prev: 3,
+            },
+            b,
+        );
+        assert_eq!(
+            mix,
+            two_type_mix_makespan(
+                3,
+                rate.f_ms[1],
+                rate.upload_ms_at(1, b),
+                4,
+                rate.f_ms[2],
+                rate.upload_ms_at(2, b)
+            )
+        );
+    }
+}

@@ -49,7 +49,7 @@ fn split_by_ratio(n: usize, ratio: usize) -> (usize, usize) {
 /// `at_prev` jobs at `l*−1` and the rest at `l*` (only constructed when
 /// Alg. 2 found an `l*−1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Candidate {
+pub(crate) enum Candidate {
     Uniform(usize),
     Mix { at_prev: usize },
 }
@@ -80,7 +80,7 @@ impl Candidate {
     /// allocation of the search. Cut layout matches the pre-refactor
     /// code: the `l*−1` block first (lower job ids), then the `l*`
     /// block.
-    fn materialize(
+    pub(crate) fn materialize(
         self,
         strategy: Strategy,
         profile: &CostProfile,
@@ -155,6 +155,52 @@ fn best_jps_candidate(
     (best, best_score, evals)
 }
 
+/// The exhaustive two-type mix refinement of [`jps_best_mix_plan`]:
+/// scan every `m ∈ 0..=n` (when an `l*−1` exists) with strict-`<`
+/// improvement over the incumbent. Returns the extra kernel
+/// evaluations. Factored out so the frontier compiler replays the
+/// exact same scan order and tie-breaks as the planner.
+fn best_mix_refine(
+    profile: &CostProfile,
+    n: usize,
+    search: &CutSearch,
+    best: &mut Candidate,
+    best_score: &mut f64,
+) -> u64 {
+    if search.l_prev.is_none() {
+        return 0;
+    }
+    for m in 0..=n {
+        let cand = Candidate::Mix { at_prev: m };
+        let score = cand.score(profile, n, search);
+        if score < *best_score {
+            *best = cand;
+            *best_score = score;
+        }
+    }
+    n as u64 + 1
+}
+
+/// Counter-free winner computation shared by the planners and the
+/// bandwidth-frontier compiler: Alg. 2 search plus the candidate scan
+/// of [`jps_plan`] (and the exhaustive mix scan of
+/// [`jps_best_mix_plan`] when `best_mix`), in the exact order and with
+/// the exact tie-breaks of the public planners. Emits no observability
+/// counters so frontier compilation probes do not inflate the
+/// `planner.*` work metrics.
+pub(crate) fn winning_candidate(
+    profile: &CostProfile,
+    n: usize,
+    best_mix: bool,
+) -> (CutSearch, Candidate) {
+    let search = binary_search_cut(profile);
+    let (mut best, mut best_score, _) = best_jps_candidate(profile, n, &search);
+    if best_mix {
+        best_mix_refine(profile, n, &search, &mut best, &mut best_score);
+    }
+    (search, best)
+}
+
 /// The paper's JPS plan for `n` homogeneous jobs.
 ///
 /// Candidates evaluated, all scheduled by Johnson's rule:
@@ -221,17 +267,7 @@ pub fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
     let _span = mcdnn_obs::span("planner", "jps_best_mix_plan");
     let search = binary_search_cut(profile);
     let (mut best, mut best_score, mut evals) = best_jps_candidate(profile, n, &search);
-    if search.l_prev.is_some() {
-        for m in 0..=n {
-            let cand = Candidate::Mix { at_prev: m };
-            let score = cand.score(profile, n, &search);
-            if score < best_score {
-                best = cand;
-                best_score = score;
-            }
-        }
-        evals += n as u64 + 1;
-    }
+    evals += best_mix_refine(profile, n, &search, &mut best, &mut best_score);
     mcdnn_obs::counter_add("planner.best_mix.calls", 1);
     mcdnn_obs::counter_add("planner.best_mix.candidates", evals);
     mcdnn_obs::counter_add("planner.kernel_evals", evals);

@@ -34,6 +34,7 @@ pub mod edge;
 pub mod energy_aware;
 pub mod error;
 pub mod flowtime_aware;
+pub mod frontier;
 pub mod general;
 pub mod heterogeneous;
 pub mod jps;
@@ -56,6 +57,7 @@ pub use continuous::{
 pub use edge::{edge_jps_plan, two_stage_blind_plan, EdgePlan};
 pub use energy_aware::{min_energy_plan, min_latency_plan, pareto_front, EnergyPoint};
 pub use flowtime_aware::{flowtime_jps_plan, FlowtimePlan};
+pub use frontier::{CutMix, FrontierDecision, PlanCache, RateFrontier, RateProfile};
 pub use general::{general_jps_plan, multipath_cuts, GeneralPlan};
 pub use heterogeneous::{hetero_brute_force, hetero_jps_plan, HeteroPlan, JobGroup};
 #[allow(deprecated)]

@@ -1,0 +1,70 @@
+//! Proof that in-range [`RateFrontier::decide_at`] is allocation-free.
+//!
+//! Same counting-allocator technique as `mcdnn-obs`'s `alloc_free`
+//! test. The online replanning fast path calls `decide_at` once per
+//! burst; with observability disabled that lookup must be a pure
+//! binary search plus O(1) kernel arithmetic — no heap traffic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcdnn_partition::{RateFrontier, RateProfile, Strategy};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter has no effect on
+// allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn in_range_decide_at_allocates_nothing() {
+    let rate = RateProfile::from_parts(
+        "alloc-free",
+        vec![0.0, 4.0, 7.0, 20.0],
+        vec![120_000, 60_000, 20_000, 0],
+        2.0,
+        None,
+    )
+    .expect("valid profile");
+    // Compile (and force the obs registry's lazy init) before
+    // disabling instrumentation and measuring lookups.
+    mcdnn_obs::set_enabled(true);
+    let frontier =
+        RateFrontier::compile(&rate, Strategy::JpsBestMix, 10, 0.1, 200.0).expect("monotone");
+    mcdnn_obs::set_enabled(false);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut sum = 0.0;
+    for i in 0..10_000u32 {
+        let b = 0.1 + f64::from(i) * (200.0 - 0.1) / 10_000.0;
+        sum += frontier.decide_at(b).makespan_ms;
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    mcdnn_obs::set_enabled(true);
+
+    assert!(sum > 0.0, "lookups must produce real makespans");
+    assert_eq!(
+        after - before,
+        0,
+        "in-range decide_at must not allocate"
+    );
+}

@@ -79,6 +79,36 @@ pub fn ladder_decision(
     rate_factor: f64,
     n_jobs: usize,
 ) -> LadderDecision {
+    let decision = ladder_decision_uncounted(profile, target_hz, rho_limit, rate_factor, n_jobs);
+    count_ladder(decision.level);
+    decision
+}
+
+/// Emit the `degrade.*` counter for a final ladder decision. The rung
+/// → counter mapping is 1:1, so counting at the end is identical to the
+/// per-branch counting the ladder used to do inline.
+fn count_ladder(level: LadderLevel) {
+    mcdnn_obs::counter_add(
+        match level {
+            LadderLevel::Normal => "degrade.normal",
+            LadderLevel::Replanned => "degrade.replans",
+            LadderLevel::Shifted => "degrade.shifts",
+            LadderLevel::MobileOnly => "degrade.mobile_only",
+        },
+        1,
+    );
+}
+
+/// [`ladder_decision`] without observability counters — the probe used
+/// by [`LadderFrontier::compile`], whose thousands of compilation
+/// probes must not inflate the `degrade.*` burst statistics.
+pub(crate) fn ladder_decision_uncounted(
+    profile: &CostProfile,
+    target_hz: f64,
+    rho_limit: f64,
+    rate_factor: f64,
+    n_jobs: usize,
+) -> LadderDecision {
     assert!(target_hz > 0.0 && rho_limit > 0.0);
     assert!((0.0..=1.0).contains(&rate_factor), "factor in [0, 1]");
     assert!(n_jobs >= 1, "need at least one job per burst");
@@ -86,7 +116,6 @@ pub fn ladder_decision(
     if rate_factor <= 0.0 {
         // Dead link: nothing with g > 0 can ever finish. Straight to
         // the bottom rung without consulting the planner.
-        mcdnn_obs::counter_add("degrade.mobile_only", 1);
         return LadderDecision {
             level: LadderLevel::MobileOnly,
             cut: k,
@@ -133,20 +162,210 @@ pub fn ladder_decision(
     let n = n_jobs as f64;
     let span = uniform_makespan(n_jobs, profile.f(candidate.cut), g_eff(candidate.cut));
     if span <= n * profile.f(k) {
-        mcdnn_obs::counter_add(
-            match candidate.level {
-                LadderLevel::Normal => "degrade.normal",
-                LadderLevel::Replanned => "degrade.replans",
-                _ => "degrade.shifts",
-            },
-            1,
-        );
         candidate
     } else {
-        mcdnn_obs::counter_add("degrade.mobile_only", 1);
         LadderDecision {
             level: LadderLevel::MobileOnly,
             cut: k,
+        }
+    }
+}
+
+/// The degradation ladder compiled into an exact piecewise-constant
+/// function of the link rate factor `x ∈ (0, 1]`.
+///
+/// Every comparison the ladder makes is monotone in `1/x`, so its
+/// decision can only flip at finitely many candidate factors, all
+/// enumerable in closed form from the profile:
+///
+/// * feasibility flips of cut `l` — `g(l)/x` crosses the rate budget
+///   `ρ · 1000/hz` at `x = g(l)/budget`;
+/// * rung-1 latency-order crossings — `f(a) + g(a)/x` meets
+///   `f(b) + g(b)/x` at `x = (g(a) − g(b))/(f(b) − f(a))`;
+/// * rung-2 bottleneck crossings and kinks — `g(a)/x` meets `f(b)`
+///   (including `a == b`, the kink of `max(f, g/x)`) at `x = g(a)/f(b)`;
+/// * rung-3 guard crossings — `uniform_makespan(n, f(c), g(c)/x)`
+///   meets `n · f(k)` at `x = n·g(c)/(n·f(k) − f(c))` on the
+///   upload-dominant side and `x = g(c)/(n·(f(k) − f(c)))` on the
+///   compute-dominant side;
+/// * `x = 1.0`, where the rung-1 level check `rate_factor ≥ 1.0` flips.
+///
+/// Each candidate is padded by ±2 ulps to absorb float-evaluation
+/// wobble at the crossing itself, then the ladder is probed **exactly
+/// at** every boundary and once inside every open interval. A
+/// [`LadderFrontier::decide`] is then a binary search: bitwise-equal
+/// boundary hits return the at-boundary decision, everything else the
+/// interval decision — matching [`ladder_decision`] everywhere
+/// (property-tested densely) without rebuilding an effective profile
+/// per burst.
+#[derive(Debug, Clone)]
+pub struct LadderFrontier {
+    f: Vec<f64>,
+    g: Vec<f64>,
+    n_jobs: usize,
+    /// Decision at `x = 1.0` — the frozen-policy cut.
+    healthy: LadderDecision,
+    /// Ascending candidate boundaries; the last is exactly `1.0`.
+    boundaries: Vec<f64>,
+    /// `at_boundary[i]` — the ladder's decision exactly at
+    /// `boundaries[i]`.
+    at_boundary: Vec<LadderDecision>,
+    /// `below[i]` — the decision on the open interval
+    /// `(boundaries[i-1], boundaries[i])` (from 0 for `i = 0`).
+    below: Vec<LadderDecision>,
+}
+
+impl LadderFrontier {
+    /// Compile the ladder of `(profile, target_hz, rho_limit, n_jobs)`
+    /// over all rate factors in `[0, 1]`.
+    pub fn compile(
+        profile: &CostProfile,
+        target_hz: f64,
+        rho_limit: f64,
+        n_jobs: usize,
+    ) -> LadderFrontier {
+        assert!(target_hz > 0.0 && rho_limit > 0.0);
+        assert!(n_jobs >= 1, "need at least one job per burst");
+        let started = std::time::Instant::now();
+        let k = profile.k();
+        let f: Vec<f64> = (0..=k).map(|l| profile.f(l)).collect();
+        let g: Vec<f64> = (0..=k).map(|l| profile.g(l)).collect();
+        let budget = rho_limit * 1000.0 / target_hz;
+        let n = n_jobs as f64;
+        let f_k = f[k];
+
+        let mut raw: Vec<f64> = vec![1.0];
+        for &gl in &g {
+            if gl > 0.0 {
+                raw.push(gl / budget);
+            }
+        }
+        for a in 0..=k {
+            for b in 0..=k {
+                if a != b {
+                    let df = f[b] - f[a];
+                    let dg = g[a] - g[b];
+                    if df > 0.0 && dg > 0.0 {
+                        raw.push(dg / df);
+                    }
+                }
+                if g[a] > 0.0 && f[b] > 0.0 {
+                    raw.push(g[a] / f[b]);
+                }
+            }
+        }
+        for c in 0..=k {
+            if g[c] > 0.0 {
+                let d_upload = n * f_k - f[c];
+                if d_upload > 0.0 {
+                    raw.push(n * g[c] / d_upload);
+                }
+                let d_compute = n * (f_k - f[c]);
+                if d_compute > 0.0 {
+                    raw.push(g[c] / d_compute);
+                }
+            }
+        }
+
+        let mut boundaries = Vec::with_capacity(raw.len() * 5 + 1);
+        for x in raw {
+            if !x.is_finite() || x <= 0.0 {
+                continue;
+            }
+            let bits = x.to_bits();
+            boundaries.push(x);
+            boundaries.push(f64::from_bits(bits + 1));
+            boundaries.push(f64::from_bits(bits + 2));
+            if bits >= 2 {
+                boundaries.push(f64::from_bits(bits - 1));
+                boundaries.push(f64::from_bits(bits - 2));
+            }
+        }
+        boundaries.retain(|x| *x > 0.0 && *x <= 1.0);
+        boundaries.push(1.0);
+        boundaries.sort_by(f64::total_cmp);
+        boundaries.dedup();
+
+        let mut at_boundary = Vec::with_capacity(boundaries.len());
+        let mut below = Vec::with_capacity(boundaries.len());
+        let mut prev = 0.0f64;
+        for &b in &boundaries {
+            at_boundary.push(ladder_decision_uncounted(
+                profile, target_hz, rho_limit, b, n_jobs,
+            ));
+            let mut mid = 0.5 * (prev + b);
+            if mid <= prev || mid >= b {
+                // No representable factor strictly inside: the interval
+                // is empty, any placeholder decision is unreachable.
+                mid = b;
+            }
+            below.push(ladder_decision_uncounted(
+                profile, target_hz, rho_limit, mid, n_jobs,
+            ));
+            prev = b;
+        }
+        let healthy = *at_boundary.last().expect("1.0 is always a boundary");
+
+        mcdnn_obs::counter_add("frontier.ladder.compile", 1);
+        mcdnn_obs::counter_add("frontier.ladder.boundaries", boundaries.len() as u64);
+        mcdnn_obs::observe_ms(
+            "frontier.ladder.compile_ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        LadderFrontier {
+            f,
+            g,
+            n_jobs,
+            healthy,
+            boundaries,
+            at_boundary,
+            below,
+        }
+    }
+
+    /// Number of layers `k`.
+    pub fn k(&self) -> usize {
+        self.f.len() - 1
+    }
+
+    /// The job count per burst this frontier was compiled for.
+    pub fn n_jobs(&self) -> usize {
+        self.n_jobs
+    }
+
+    /// The decision at a healthy link (`x = 1.0`) — the frozen cut.
+    pub fn healthy(&self) -> LadderDecision {
+        self.healthy
+    }
+
+    /// Number of candidate boundaries (ulp-padded, including `1.0`).
+    pub fn num_boundaries(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// O(log B) ladder decision for `rate_factor`, emitting the same
+    /// `degrade.*` counter [`ladder_decision`] would.
+    pub fn decide(&self, rate_factor: f64) -> LadderDecision {
+        let decision = self.decide_uncounted(rate_factor);
+        count_ladder(decision.level);
+        decision
+    }
+
+    fn decide_uncounted(&self, rate_factor: f64) -> LadderDecision {
+        assert!((0.0..=1.0).contains(&rate_factor), "factor in [0, 1]");
+        if rate_factor <= 0.0 {
+            return LadderDecision {
+                level: LadderLevel::MobileOnly,
+                cut: self.k(),
+            };
+        }
+        mcdnn_obs::counter_add("frontier.ladder.lookups", 1);
+        let i = self.boundaries.partition_point(|b| *b < rate_factor);
+        debug_assert!(i < self.boundaries.len(), "1.0 bounds every factor");
+        if self.boundaries[i] == rate_factor {
+            self.at_boundary[i]
+        } else {
+            self.below[i]
         }
     }
 }
@@ -206,27 +425,24 @@ pub struct DegradedRun {
 /// Price one burst that *commits* to `cut` while the true factor is
 /// `factor`. A cut with `g > 0` under a blackout burns the full retry
 /// budget per the policy, then finishes every job on-device.
-fn burst_cost(
-    profile: &CostProfile,
-    cut: usize,
+fn burst_cost_parts(
+    f_cut: f64,
+    f_k: f64,
+    g_cut: f64,
     factor: f64,
     n: usize,
     retry: &RetryPolicy,
 ) -> f64 {
-    let k = profile.k();
-    let g = profile.g(cut);
-    if g <= 0.0 {
-        return n as f64 * profile.f(cut);
+    if g_cut <= 0.0 {
+        return n as f64 * f_cut;
     }
     if factor <= 0.0 {
         // Blackout with offloading committed: attempts all time out,
         // then the remaining layers of every job run on-device.
         mcdnn_obs::counter_add("fault.local_fallbacks", n as u64);
-        return retry.exhaustion_penalty_ms()
-            + n as f64 * profile.f(cut)
-            + n as f64 * (profile.f(k) - profile.f(cut));
+        return retry.exhaustion_penalty_ms() + n as f64 * f_cut + n as f64 * (f_k - f_cut);
     }
-    uniform_makespan(n, profile.f(cut), g / factor)
+    uniform_makespan(n, f_cut, g_cut / factor)
 }
 
 /// Replay a fault timeline (`factors[i]` = true link rate factor of
@@ -244,28 +460,38 @@ pub fn run_degraded(
     retry: &RetryPolicy,
     policy: DegradePolicy,
 ) -> DegradedRun {
+    let frontier = LadderFrontier::compile(profile, target_hz, rho_limit, jobs_per_burst);
+    run_degraded_via(&frontier, factors, retry, policy)
+}
+
+/// [`run_degraded`] against a pre-compiled [`LadderFrontier`]. The
+/// compile cost amortizes across replays: chaos grids compile the
+/// ladder once per profile and share it across every scenario × policy
+/// cell, and long fault timelines pay O(log B) per burst instead of a
+/// full ladder walk with an effective-profile rebuild.
+pub fn run_degraded_via(
+    frontier: &LadderFrontier,
+    factors: &[f64],
+    retry: &RetryPolicy,
+    policy: DegradePolicy,
+) -> DegradedRun {
     let _span = mcdnn_obs::span("sim", "run_degraded");
-    assert!(jobs_per_burst >= 1, "need at least one job per burst");
-    let k = profile.k();
-    let n = jobs_per_burst;
-    let frozen_cut = ladder_decision(profile, target_hz, rho_limit, 1.0, n).cut;
+    let k = frontier.k();
+    let n = frontier.n_jobs();
+    let frozen_cut = frontier.healthy().cut;
     let mut bursts = Vec::with_capacity(factors.len());
     let mut total = 0.0f64;
     let mut prev_level = LadderLevel::Normal;
     for (i, &factor) in factors.iter().enumerate() {
         let (level, cut) = match policy {
-            DegradePolicy::Frozen => (
-                ladder_decision(profile, target_hz, rho_limit, factor.clamp(0.0, 1.0), n).level,
-                frozen_cut,
-            ),
+            DegradePolicy::Frozen => (frontier.decide(factor.clamp(0.0, 1.0)).level, frozen_cut),
             DegradePolicy::Ladder => {
-                let d = ladder_decision(profile, target_hz, rho_limit, factor.clamp(0.0, 1.0), n);
+                let d = frontier.decide(factor.clamp(0.0, 1.0));
                 (d.level, d.cut)
             }
             DegradePolicy::LaggedLadder => {
                 let believed = if i == 0 { 1.0 } else { factors[i - 1] };
-                let d =
-                    ladder_decision(profile, target_hz, rho_limit, believed.clamp(0.0, 1.0), n);
+                let d = frontier.decide(believed.clamp(0.0, 1.0));
                 (d.level, d.cut)
             }
             DegradePolicy::MobileOnly => (LadderLevel::MobileOnly, k),
@@ -274,7 +500,14 @@ pub fn run_degraded(
             mcdnn_obs::counter_add("degrade.recoveries", 1);
         }
         prev_level = level;
-        let makespan_ms = burst_cost(profile, cut, factor, n, retry);
+        let makespan_ms = burst_cost_parts(
+            frontier.f[cut],
+            frontier.f[k],
+            frontier.g[cut],
+            factor,
+            n,
+            retry,
+        );
         total += makespan_ms;
         bursts.push(BurstRecord {
             burst: i,
@@ -422,6 +655,49 @@ mod tests {
             lagged.total_ms,
             oracle.total_ms
         );
+    }
+
+    #[test]
+    fn frontier_decide_matches_ladder_decision_densely() {
+        use mcdnn_rng::Rng;
+        let p = profile();
+        for (hz, rho, n) in [(20.0, 0.9, 10usize), (20.0, 0.9, 1), (7.0, 0.5, 4)] {
+            let frontier = LadderFrontier::compile(&p, hz, rho, n);
+            let mut xs: Vec<f64> = (0..=1000).map(|i| i as f64 / 1000.0).collect();
+            let mut rng = Rng::seed_from_u64(3);
+            xs.extend((0..2000).map(|_| rng.gen_range(0.0..1.0)));
+            for x in xs {
+                assert_eq!(
+                    frontier.decide(x),
+                    ladder_decision(&p, hz, rho, x, n),
+                    "hz={hz} rho={rho} n={n} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_frontier_replay_matches_run_degraded() {
+        let p = profile();
+        let frontier = LadderFrontier::compile(&p, 20.0, 0.9, 6);
+        let retry = RetryPolicy::default();
+        let timelines = [
+            vec![1.0, 1.0, 0.0, 0.0, 0.3, 1.0],
+            vec![1.0, 0.5, 0.1, 0.9],
+            vec![0.0; 5],
+        ];
+        for factors in &timelines {
+            for policy in [
+                DegradePolicy::Frozen,
+                DegradePolicy::Ladder,
+                DegradePolicy::LaggedLadder,
+                DegradePolicy::MobileOnly,
+            ] {
+                let shared = run_degraded_via(&frontier, factors, &retry, policy);
+                let fresh = run_degraded(&p, factors, 6, 20.0, 0.9, &retry, policy);
+                assert_eq!(shared, fresh, "{policy} over {factors:?}");
+            }
+        }
     }
 
     #[test]

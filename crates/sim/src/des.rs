@@ -80,7 +80,143 @@ impl DesResult {
     }
 }
 
+/// A reusable simulation workspace: the per-run buffers (`next-free`
+/// stage queues, timelines, event log, fallback staging) live here and
+/// are recycled across calls, so sweeps that replay millions of jobs
+/// ([`crate::realized_makespans`], chaos grids, degradation replays)
+/// pay for allocation once instead of once per run.
+///
+/// Results are **bit-exact** with the free [`simulate`] /
+/// [`simulate_faulted`] wrappers — those are implemented as one-shot
+/// arenas over the very same event loop. After a run, read the outputs
+/// through [`DesArena::timelines`], [`DesArena::events`] and
+/// [`DesArena::fallbacks`]; they stay valid until the next run. A warm
+/// run whose job count fits the existing capacity performs no heap
+/// allocation (proven by a counting-allocator test).
+#[derive(Debug, Default)]
+pub struct DesArena {
+    uplink_free: Vec<f64>,
+    cloud_free: Vec<f64>,
+    timelines: Vec<JobTimeline>,
+    events: Vec<FaultEvent>,
+    staged: Vec<(usize, f64, f64)>,
+    fallbacks: Vec<(usize, f64, f64)>,
+    warm: bool,
+}
+
+impl DesArena {
+    /// A cold arena: the first run sizes the buffers.
+    pub fn new() -> Self {
+        DesArena::default()
+    }
+
+    /// Reset buffers for a run, tracking reuse through the
+    /// `des.arena.*` counters: `runs` (every prepare), `reused` (the
+    /// arena was warm), `grown` (some buffer had to allocate).
+    fn prepare(&mut self, config: &DesConfig, n_jobs: usize) {
+        assert!(config.uplink_channels >= 1, "need at least one uplink channel");
+        assert!(config.cloud_slots >= 1, "need at least one cloud slot");
+        assert!((0.0..1.0).contains(&config.jitter_frac), "jitter in [0,1)");
+        mcdnn_obs::counter_add("des.arena.runs", 1);
+        if self.warm {
+            mcdnn_obs::counter_add("des.arena.reused", 1);
+        }
+        let grown = self.uplink_free.capacity() < config.uplink_channels
+            || self.cloud_free.capacity() < config.cloud_slots
+            || self.timelines.capacity() < n_jobs;
+        if grown {
+            mcdnn_obs::counter_add("des.arena.grown", 1);
+        }
+        self.uplink_free.clear();
+        self.uplink_free.resize(config.uplink_channels, 0.0);
+        self.cloud_free.clear();
+        self.cloud_free.resize(config.cloud_slots, 0.0);
+        self.timelines.clear();
+        self.timelines.reserve(n_jobs);
+        self.events.clear();
+        self.staged.clear();
+        self.fallbacks.clear();
+        self.warm = true;
+    }
+
+    /// Timelines of the most recent run, in schedule order.
+    pub fn timelines(&self) -> &[JobTimeline] {
+        &self.timelines
+    }
+
+    /// Fault/recovery events of the most recent faulted run, sorted by
+    /// `(time, job)`. Empty after a fault-free [`DesArena::simulate`].
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// `(job id, start, end)` of on-device fallback remainders from the
+    /// most recent faulted run, in exhaustion order.
+    pub fn fallbacks(&self) -> &[(usize, f64, f64)] {
+        &self.fallbacks
+    }
+
+    /// Run the fault-free simulation in this arena; returns the
+    /// makespan. Semantics identical to the free [`simulate`].
+    pub fn simulate(&mut self, jobs: &[FlowJob], order: &[usize], config: &DesConfig) -> f64 {
+        let _span = mcdnn_obs::span("sim", "des");
+        mcdnn_obs::counter_add("des.runs", 1);
+        mcdnn_obs::counter_add("des.jobs", order.len() as u64);
+        self.prepare(config, order.len());
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let mut jitter = |d: f64| -> f64 {
+            if config.jitter_frac == 0.0 || d == 0.0 {
+                d
+            } else {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                (d * (1.0 + config.jitter_frac * u)).max(0.0)
+            }
+        };
+
+        // Next-free times per resource unit.
+        let mut cpu_free = 0.0f64;
+        let mut makespan = 0.0f64;
+        for &idx in order {
+            let job = &jobs[idx];
+            let compute_start = cpu_free;
+            let compute_end = compute_start + jitter(job.compute_ms);
+            cpu_free = compute_end;
+
+            let (mut upload_start, mut upload_end) = (compute_end, compute_end);
+            let mut completion = compute_end;
+            if job.comm_ms > 0.0 {
+                // Earliest-free channel; ties keep the lowest index.
+                let ch = argmin(&self.uplink_free);
+                upload_start = compute_end.max(self.uplink_free[ch]);
+                upload_end = upload_start + jitter(job.comm_ms);
+                self.uplink_free[ch] = upload_end;
+                completion = upload_end;
+                if job.cloud_ms > 0.0 {
+                    let slot = argmin(&self.cloud_free);
+                    let start = upload_end.max(self.cloud_free[slot]);
+                    completion = start + jitter(job.cloud_ms);
+                    self.cloud_free[slot] = completion;
+                }
+            }
+            makespan = makespan.max(completion);
+            self.timelines.push(JobTimeline {
+                id: job.id,
+                compute_start,
+                compute_end,
+                upload_start,
+                upload_end,
+                completion,
+            });
+        }
+        makespan
+    }
+}
+
 /// Run the simulation for `jobs` processed in `order`.
+///
+/// One-shot convenience over [`DesArena`]; sweeps that simulate many
+/// schedules should hold an arena and call [`DesArena::simulate`] to
+/// amortize the buffer allocations.
 ///
 /// ```
 /// use mcdnn_flowshop::FlowJob;
@@ -95,64 +231,11 @@ impl DesResult {
 /// assert_eq!(result.timelines.len(), 2);
 /// ```
 pub fn simulate(jobs: &[FlowJob], order: &[usize], config: &DesConfig) -> DesResult {
-    let _span = mcdnn_obs::span("sim", "des");
-    mcdnn_obs::counter_add("des.runs", 1);
-    mcdnn_obs::counter_add("des.jobs", order.len() as u64);
-    assert!(config.uplink_channels >= 1, "need at least one uplink channel");
-    assert!(config.cloud_slots >= 1, "need at least one cloud slot");
-    assert!((0.0..1.0).contains(&config.jitter_frac), "jitter in [0,1)");
-    let mut rng = Rng::seed_from_u64(config.seed);
-    let mut jitter = |d: f64| -> f64 {
-        if config.jitter_frac == 0.0 || d == 0.0 {
-            d
-        } else {
-            let u: f64 = rng.gen_range(-1.0..1.0);
-            (d * (1.0 + config.jitter_frac * u)).max(0.0)
-        }
-    };
-
-    // Next-free times per resource unit.
-    let mut cpu_free = 0.0f64;
-    let mut uplink_free = vec![0.0f64; config.uplink_channels];
-    let mut cloud_free = vec![0.0f64; config.cloud_slots];
-
-    let mut timelines = Vec::with_capacity(order.len());
-    let mut makespan = 0.0f64;
-    for &idx in order {
-        let job = &jobs[idx];
-        let compute_start = cpu_free;
-        let compute_end = compute_start + jitter(job.compute_ms);
-        cpu_free = compute_end;
-
-        let (mut upload_start, mut upload_end) = (compute_end, compute_end);
-        let mut completion = compute_end;
-        if job.comm_ms > 0.0 {
-            // Earliest-free channel; ties keep the lowest index.
-            let ch = argmin(&uplink_free);
-            upload_start = compute_end.max(uplink_free[ch]);
-            upload_end = upload_start + jitter(job.comm_ms);
-            uplink_free[ch] = upload_end;
-            completion = upload_end;
-            if job.cloud_ms > 0.0 {
-                let slot = argmin(&cloud_free);
-                let start = upload_end.max(cloud_free[slot]);
-                completion = start + jitter(job.cloud_ms);
-                cloud_free[slot] = completion;
-            }
-        }
-        makespan = makespan.max(completion);
-        timelines.push(JobTimeline {
-            id: job.id,
-            compute_start,
-            compute_end,
-            upload_start,
-            upload_end,
-            completion,
-        });
-    }
+    let mut arena = DesArena::new();
+    let makespan_ms = arena.simulate(jobs, order, config);
     DesResult {
-        timelines,
-        makespan_ms: makespan,
+        timelines: arena.timelines,
+        makespan_ms,
     }
 }
 
@@ -225,149 +308,168 @@ impl FaultedDesResult {
 ///   by its factor.
 ///
 /// With an empty plan this reproduces [`simulate`] exactly (tested).
+///
+/// One-shot convenience over [`DesArena`]; replay loops should hold an
+/// arena and call [`DesArena::simulate_faulted`] instead.
 pub fn simulate_faulted(
     jobs: &[FlowJob],
     order: &[usize],
     config: &DesConfig,
     run: &FaultedRun,
 ) -> FaultedDesResult {
-    let _span = mcdnn_obs::span("sim", "des_faulted");
-    mcdnn_obs::counter_add("des.faulted_runs", 1);
-    assert!(config.uplink_channels >= 1, "need at least one uplink channel");
-    assert!(config.cloud_slots >= 1, "need at least one cloud slot");
-    assert!((0.0..1.0).contains(&config.jitter_frac), "jitter in [0,1)");
-    assert!(run.retry.max_attempts >= 1, "need at least one attempt");
-    assert!(run.local_fallback_ms >= 0.0, "fallback time must be >= 0");
-    let timeline = run.faults.link_timeline();
-    let mut rng = Rng::seed_from_u64(config.seed);
-    let mut jitter = |d: f64| -> f64 {
-        if config.jitter_frac == 0.0 || d == 0.0 {
-            d
-        } else {
-            let u: f64 = rng.gen_range(-1.0..1.0);
-            (d * (1.0 + config.jitter_frac * u)).max(0.0)
-        }
-    };
+    let mut arena = DesArena::new();
+    let makespan_ms = arena.simulate_faulted(jobs, order, config, run);
+    FaultedDesResult {
+        timelines: arena.timelines,
+        makespan_ms,
+        events: arena.events,
+        fallbacks: arena.fallbacks,
+    }
+}
 
-    let mut cpu_free = 0.0f64;
-    let mut uplink_free = vec![0.0f64; config.uplink_channels];
-    let mut cloud_free = vec![0.0f64; config.cloud_slots];
+impl DesArena {
+    /// Run [`simulate_faulted`] in this arena; returns the makespan.
+    /// Outputs land in [`DesArena::timelines`], [`DesArena::events`]
+    /// and [`DesArena::fallbacks`]. Note `FaultPlan::link_timeline`
+    /// builds its piecewise timeline per call, so a faulted run is not
+    /// allocation-free even when warm.
+    pub fn simulate_faulted(
+        &mut self,
+        jobs: &[FlowJob],
+        order: &[usize],
+        config: &DesConfig,
+        run: &FaultedRun,
+    ) -> f64 {
+        let _span = mcdnn_obs::span("sim", "des_faulted");
+        mcdnn_obs::counter_add("des.faulted_runs", 1);
+        assert!(run.retry.max_attempts >= 1, "need at least one attempt");
+        assert!(run.local_fallback_ms >= 0.0, "fallback time must be >= 0");
+        self.prepare(config, order.len());
+        let timeline = run.faults.link_timeline();
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let mut jitter = |d: f64| -> f64 {
+            if config.jitter_frac == 0.0 || d == 0.0 {
+                d
+            } else {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                (d * (1.0 + config.jitter_frac * u)).max(0.0)
+            }
+        };
 
-    let mut timelines = Vec::with_capacity(order.len());
-    let mut events: Vec<FaultEvent> = Vec::new();
-    // (timeline index, ready time, remaining mobile work) per fallback.
-    let mut fallbacks: Vec<(usize, f64, f64)> = Vec::new();
-    for &idx in order {
-        let job = &jobs[idx];
-        let compute_start = cpu_free;
-        let compute_end = compute_start + jitter(job.compute_ms);
-        cpu_free = compute_end;
+        let mut cpu_free = 0.0f64;
+        for &idx in order {
+            let job = &jobs[idx];
+            let compute_start = cpu_free;
+            let compute_end = compute_start + jitter(job.compute_ms);
+            cpu_free = compute_end;
 
-        let (mut upload_start, mut upload_end) = (compute_end, compute_end);
-        let mut completion = compute_end;
-        if job.comm_ms > 0.0 {
-            let losses = run.faults.upload_losses(job.id);
-            let work = jitter(job.comm_ms);
-            let mut ready = compute_end;
-            let mut first_attempt_start = None;
-            let mut succeeded = false;
-            for attempt in 1..=run.retry.max_attempts {
-                let ch = argmin(&uplink_free);
-                let start = ready.max(uplink_free[ch]);
-                let end = timeline.transfer_end(start, work);
-                uplink_free[ch] = end;
-                first_attempt_start.get_or_insert(start);
-                upload_end = end;
-                if attempt <= losses {
-                    mcdnn_obs::counter_add("fault.upload_lost", 1);
-                    events.push(FaultEvent {
-                        t_ms: end,
-                        job: job.id,
-                        kind: FaultEventKind::UploadLost { attempt },
-                    });
-                    if attempt < run.retry.max_attempts {
-                        let delay = run.retry.backoff_ms(attempt);
-                        mcdnn_obs::counter_add("fault.retries", 1);
-                        events.push(FaultEvent {
+            let (mut upload_start, mut upload_end) = (compute_end, compute_end);
+            let mut completion = compute_end;
+            if job.comm_ms > 0.0 {
+                let losses = run.faults.upload_losses(job.id);
+                let work = jitter(job.comm_ms);
+                let mut ready = compute_end;
+                let mut first_attempt_start = None;
+                let mut succeeded = false;
+                for attempt in 1..=run.retry.max_attempts {
+                    let ch = argmin(&self.uplink_free);
+                    let start = ready.max(self.uplink_free[ch]);
+                    let end = timeline.transfer_end(start, work);
+                    self.uplink_free[ch] = end;
+                    first_attempt_start.get_or_insert(start);
+                    upload_end = end;
+                    if attempt <= losses {
+                        mcdnn_obs::counter_add("fault.upload_lost", 1);
+                        self.events.push(FaultEvent {
                             t_ms: end,
                             job: job.id,
-                            kind: FaultEventKind::RetryScheduled {
-                                attempt: attempt + 1,
-                                delay_ms: delay,
-                            },
+                            kind: FaultEventKind::UploadLost { attempt },
                         });
-                        ready = end + delay;
+                        if attempt < run.retry.max_attempts {
+                            let delay = run.retry.backoff_ms(attempt);
+                            mcdnn_obs::counter_add("fault.retries", 1);
+                            self.events.push(FaultEvent {
+                                t_ms: end,
+                                job: job.id,
+                                kind: FaultEventKind::RetryScheduled {
+                                    attempt: attempt + 1,
+                                    delay_ms: delay,
+                                },
+                            });
+                            ready = end + delay;
+                        }
+                    } else {
+                        if attempt > 1 {
+                            mcdnn_obs::counter_add("recovery.upload_recovered", 1);
+                            self.events.push(FaultEvent {
+                                t_ms: end,
+                                job: job.id,
+                                kind: FaultEventKind::UploadRecovered { attempts: attempt },
+                            });
+                        }
+                        succeeded = true;
+                        break;
+                    }
+                }
+                upload_start = first_attempt_start.unwrap_or(compute_end);
+                if succeeded {
+                    completion = upload_end;
+                    if job.cloud_ms > 0.0 {
+                        let factor = run.faults.cloud_factor(job.id);
+                        let slot = argmin(&self.cloud_free);
+                        let start = upload_end.max(self.cloud_free[slot]);
+                        if factor > 1.0 {
+                            mcdnn_obs::counter_add("fault.cloud_straggles", 1);
+                            self.events.push(FaultEvent {
+                                t_ms: start,
+                                job: job.id,
+                                kind: FaultEventKind::CloudStraggled { factor },
+                            });
+                        }
+                        completion = start + jitter(job.cloud_ms) * factor;
+                        self.cloud_free[slot] = completion;
                     }
                 } else {
-                    if attempt > 1 {
-                        mcdnn_obs::counter_add("recovery.upload_recovered", 1);
-                        events.push(FaultEvent {
-                            t_ms: end,
-                            job: job.id,
-                            kind: FaultEventKind::UploadRecovered { attempts: attempt },
-                        });
-                    }
-                    succeeded = true;
-                    break;
+                    // Budget exhausted at the last lost attempt's end.
+                    mcdnn_obs::counter_add("fault.local_fallbacks", 1);
+                    self.events.push(FaultEvent {
+                        t_ms: upload_end,
+                        job: job.id,
+                        kind: FaultEventKind::LocalFallback,
+                    });
+                    // (timeline index, ready time, remaining mobile work).
+                    self.staged
+                        .push((self.timelines.len(), upload_end, jitter(run.local_fallback_ms)));
+                    completion = upload_end; // placeholder; fixed in pass 2
                 }
             }
-            upload_start = first_attempt_start.unwrap_or(compute_end);
-            if succeeded {
-                completion = upload_end;
-                if job.cloud_ms > 0.0 {
-                    let factor = run.faults.cloud_factor(job.id);
-                    let slot = argmin(&cloud_free);
-                    let start = upload_end.max(cloud_free[slot]);
-                    if factor > 1.0 {
-                        mcdnn_obs::counter_add("fault.cloud_straggles", 1);
-                        events.push(FaultEvent {
-                            t_ms: start,
-                            job: job.id,
-                            kind: FaultEventKind::CloudStraggled { factor },
-                        });
-                    }
-                    completion = start + jitter(job.cloud_ms) * factor;
-                    cloud_free[slot] = completion;
-                }
-            } else {
-                // Budget exhausted at the last lost attempt's end.
-                mcdnn_obs::counter_add("fault.local_fallbacks", 1);
-                events.push(FaultEvent {
-                    t_ms: upload_end,
-                    job: job.id,
-                    kind: FaultEventKind::LocalFallback,
-                });
-                fallbacks.push((timelines.len(), upload_end, jitter(run.local_fallback_ms)));
-                completion = upload_end; // placeholder; fixed in pass 2
-            }
+            self.timelines.push(JobTimeline {
+                id: job.id,
+                compute_start,
+                compute_end,
+                upload_start,
+                upload_end,
+                completion,
+            });
         }
-        timelines.push(JobTimeline {
-            id: job.id,
-            compute_start,
-            compute_end,
-            upload_start,
-            upload_end,
-            completion,
-        });
-    }
 
-    // Pass 2: fallback remainders run on the single mobile CPU after
-    // every scheduled compute stage, in exhaustion order.
-    let mut fallback_intervals = Vec::with_capacity(fallbacks.len());
-    for (slot, ready, extra) in fallbacks {
-        let start = cpu_free.max(ready);
-        cpu_free = start + extra;
-        timelines[slot].completion = cpu_free;
-        fallback_intervals.push((timelines[slot].id, start, cpu_free));
-    }
+        // Pass 2: fallback remainders run on the single mobile CPU after
+        // every scheduled compute stage, in exhaustion order.
+        for i in 0..self.staged.len() {
+            let (slot, ready, extra) = self.staged[i];
+            let start = cpu_free.max(ready);
+            cpu_free = start + extra;
+            self.timelines[slot].completion = cpu_free;
+            self.fallbacks.push((self.timelines[slot].id, start, cpu_free));
+        }
 
-    let makespan = timelines.iter().map(|t| t.completion).fold(0.0, f64::max);
-    crate::fault::sort_events(&mut events);
-    FaultedDesResult {
-        timelines,
-        makespan_ms: makespan,
-        events,
-        fallbacks: fallback_intervals,
+        let makespan = self
+            .timelines
+            .iter()
+            .map(|t| t.completion)
+            .fold(0.0, f64::max);
+        crate::fault::sort_events(&mut self.events);
+        makespan
     }
 }
 
@@ -541,6 +643,34 @@ mod tests {
         assert_eq!(r.average_completion_ms(), 0.0);
     }
 
+    #[test]
+    fn arena_reuse_is_bit_exact_with_one_shot() {
+        let cases = [
+            jobs(&[(4.0, 6.0), (7.0, 2.0), (3.0, 3.0)]),
+            jobs(&[(5.0, 0.0), (1.0, 9.0)]),
+            jobs(&[(3.0, 6.0), (7.0, 2.0), (4.0, 4.0), (5.0, 3.0), (1.0, 5.0)]),
+        ];
+        let cfg = DesConfig {
+            jitter_frac: 0.15,
+            seed: 11,
+            ..DesConfig::default()
+        };
+        let mut arena = DesArena::new();
+        // Cycle through differently-sized schedules in one arena: a
+        // dirty warm buffer must never leak into the next run.
+        for _ in 0..2 {
+            for js in &cases {
+                let order: Vec<usize> = (0..js.len()).rev().collect();
+                let warm = arena.simulate(js, &order, &cfg);
+                let one_shot = simulate(js, &order, &cfg);
+                assert_eq!(warm, one_shot.makespan_ms);
+                assert_eq!(arena.timelines(), &one_shot.timelines[..]);
+                assert!(arena.events().is_empty());
+                assert!(arena.fallbacks().is_empty());
+            }
+        }
+    }
+
     mod faulted {
         use super::*;
         use crate::fault::{format_events, log_digest, Fault, FaultEventKind};
@@ -673,6 +803,40 @@ mod tests {
                     log_digest(&format_events(&a.events)),
                     log_digest(&format_events(&b.events))
                 );
+            }
+        }
+
+        #[test]
+        fn faulted_arena_reuse_is_bit_exact_with_one_shot() {
+            let js = jobs(&[(4.0, 6.0), (7.0, 2.0), (3.0, 5.0), (6.0, 4.0)]);
+            let order = vec![0, 1, 2, 3];
+            let cfg = DesConfig {
+                jitter_frac: 0.1,
+                seed: 5,
+                ..DesConfig::default()
+            };
+            let mut arena = DesArena::new();
+            for seed in [7u64, 1234, 999] {
+                let run = FaultedRun {
+                    faults: FaultPlan::random(
+                        &crate::fault::FaultSpec {
+                            loss_prob: 0.8,
+                            blackout_prob: 1.0,
+                            ..crate::fault::FaultSpec::default()
+                        },
+                        4,
+                        60.0,
+                        seed,
+                    ),
+                    local_fallback_ms: 3.0,
+                    ..FaultedRun::default()
+                };
+                let warm = arena.simulate_faulted(&js, &order, &cfg, &run);
+                let one_shot = simulate_faulted(&js, &order, &cfg, &run);
+                assert_eq!(warm, one_shot.makespan_ms);
+                assert_eq!(arena.timelines(), &one_shot.timelines[..]);
+                assert_eq!(arena.events(), &one_shot.events[..]);
+                assert_eq!(arena.fallbacks(), &one_shot.fallbacks[..]);
             }
         }
 

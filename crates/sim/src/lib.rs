@@ -34,10 +34,12 @@ pub mod trace;
 pub mod validate;
 
 pub use degrade::{
-    ladder_decision, run_degraded, BurstRecord, DegradePolicy, DegradedRun, LadderDecision,
-    LadderLevel,
+    ladder_decision, run_degraded, run_degraded_via, BurstRecord, DegradePolicy, DegradedRun,
+    LadderDecision, LadderFrontier, LadderLevel,
 };
-pub use des::{simulate, simulate_faulted, DesConfig, DesResult, FaultedDesResult, FaultedRun};
+pub use des::{
+    simulate, simulate_faulted, DesArena, DesConfig, DesResult, FaultedDesResult, FaultedRun,
+};
 pub use fault::{
     format_events, log_digest, Fault, FaultEvent, FaultEventKind, FaultPlan, FaultSpec,
     LinkTimeline, RetryPolicy,

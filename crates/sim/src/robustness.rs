@@ -20,8 +20,8 @@ use mcdnn_flowshop::FlowJob;
 use mcdnn_profile::CostProfile;
 use mcdnn_rng::Rng;
 
-use crate::degrade::{run_degraded, DegradePolicy};
-use crate::des::{simulate, simulate_faulted, DesConfig, FaultedDesResult, FaultedRun};
+use crate::degrade::{run_degraded_via, DegradePolicy, LadderFrontier};
+use crate::des::{simulate_faulted, DesArena, DesConfig, FaultedDesResult, FaultedRun};
 use crate::fault::{format_events, log_digest, FaultPlan, FaultSpec, RetryPolicy};
 
 /// Summary statistics of realised makespans.
@@ -54,10 +54,12 @@ pub fn realized_makespans(
     base_seed: u64,
 ) -> MakespanStats {
     assert!(trials > 0, "need at least one trial");
-    let nominal = simulate(jobs, order, &DesConfig::default()).makespan_ms;
+    // Only makespans are kept, so one warm arena serves every trial.
+    let mut arena = DesArena::new();
+    let nominal = arena.simulate(jobs, order, &DesConfig::default());
     let mut spans: Vec<f64> = (0..trials)
         .map(|t| {
-            simulate(
+            arena.simulate(
                 jobs,
                 order,
                 &DesConfig {
@@ -66,7 +68,6 @@ pub fn realized_makespans(
                     ..DesConfig::default()
                 },
             )
-            .makespan_ms
         })
         .collect();
     spans.sort_by(f64::total_cmp);
@@ -179,21 +180,13 @@ pub fn run_chaos_grid(
         DegradePolicy::LaggedLadder,
         DegradePolicy::MobileOnly,
     ];
+    // One ladder compile for the whole grid: the frontier is plain
+    // data, shared read-only across the scenario workers.
+    let frontier = LadderFrontier::compile(profile, target_hz, rho_limit, jobs_per_burst);
     let per_scenario = mcdnn_runtime::parallel_map(scenarios, |_, sc| {
         let totals: Vec<f64> = POLICIES
             .iter()
-            .map(|&policy| {
-                run_degraded(
-                    profile,
-                    &sc.factors,
-                    jobs_per_burst,
-                    target_hz,
-                    rho_limit,
-                    retry,
-                    policy,
-                )
-                .total_ms
-            })
+            .map(|&policy| run_degraded_via(&frontier, &sc.factors, retry, policy).total_ms)
             .collect();
         let oracle = totals[1];
         POLICIES

@@ -1,0 +1,67 @@
+//! Proof that a warm [`mcdnn_sim::DesArena`] run is allocation-free.
+//!
+//! Same counting-allocator technique as `mcdnn-obs`'s `alloc_free`
+//! test: a thin `System` wrapper counts heap allocations around a warm
+//! `DesArena::simulate` call with observability disabled. This is the
+//! property the million-job sweeps lean on — per-schedule cost must be
+//! pure simulation, not buffer churn.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcdnn_flowshop::FlowJob;
+use mcdnn_sim::{DesArena, DesConfig};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter has no effect on
+// allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_arena_simulate_allocates_nothing() {
+    let jobs: Vec<FlowJob> = (0..64)
+        .map(|i| FlowJob::two_stage(i, 3.0 + i as f64 % 5.0, 7.0 - i as f64 % 6.0))
+        .collect();
+    let order: Vec<usize> = (0..jobs.len()).collect();
+    let config = DesConfig {
+        uplink_channels: 2,
+        cloud_slots: 1,
+        jitter_frac: 0.1,
+        seed: 42,
+    };
+
+    let mut arena = DesArena::new();
+    // Cold run sizes the buffers (and forces the obs registry's lazy
+    // init); then disable instrumentation and measure a warm run.
+    mcdnn_obs::set_enabled(true);
+    let cold = arena.simulate(&jobs, &order, &config);
+    mcdnn_obs::set_enabled(false);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let warm = arena.simulate(&jobs, &order, &config);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    mcdnn_obs::set_enabled(true);
+
+    assert_eq!(warm, cold, "same seed, same schedule, same makespan");
+    assert_eq!(after - before, 0, "warm arena run must not allocate");
+}
