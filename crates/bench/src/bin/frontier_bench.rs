@@ -30,13 +30,12 @@
 use std::time::Instant;
 
 use mcdnn_bench::banner;
+use mcdnn_bench::workload::{ModelWorkload, SETUP_MS};
 use mcdnn_flowshop::FlowJob;
 use mcdnn_models::Model;
-use mcdnn_partition::{CutMix, RateFrontier, RateProfile, Strategy};
-use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, NetworkModel};
+use mcdnn_partition::{CutMix, RateFrontier, Strategy};
 use mcdnn_sim::{ladder_decision, simulate, DesArena, DesConfig, LadderFrontier};
 
-const SETUP_MS: f64 = 10.0;
 const N_JOBS: usize = 8;
 const LO_MBPS: f64 = 1.0;
 const HI_MBPS: f64 = 100.0;
@@ -80,11 +79,10 @@ fn main() {
         "compile once, decide in O(log B): >= 10x over per-burst replanning",
     );
 
-    let mobile = DeviceModel::raspberry_pi4();
-    let line = Model::AlexNet.line().expect("alexnet line view");
+    let workload = ModelWorkload::zoo(Model::AlexNet, SETUP_MS).expect("alexnet line view");
 
     // 1. Compile cost + lookup cost + exactness audit.
-    let rate = RateProfile::evaluate(&line, &mobile, &CloudModel::Negligible, SETUP_MS);
+    let rate = workload.rate_profile();
     let started = Instant::now();
     let frontier = RateFrontier::compile(&rate, Strategy::JpsBestMix, N_JOBS, LO_MBPS, HI_MBPS)
         .expect("clustered alexnet profile is monotone");
@@ -119,19 +117,9 @@ fn main() {
     let started = Instant::now();
     let mut direct_plans = Vec::with_capacity(trace.len());
     for &b in &trace {
-        let believed = CostProfile::evaluate(
-            &line,
-            &mobile,
-            &NetworkModel::new(b, SETUP_MS),
-            &CloudModel::Negligible,
-        );
+        let believed = workload.cost_profile_at(b);
         let plan = Strategy::JpsBestMix.plan(&believed, N_JOBS);
-        let realized = CostProfile::evaluate(
-            &line,
-            &mobile,
-            &NetworkModel::new(b * 1.05, SETUP_MS),
-            &CloudModel::Negligible,
-        );
+        let realized = workload.cost_profile_at(b * 1.05);
         let paid =
             mcdnn_partition::Plan::from_cuts(Strategy::JpsBestMix, &realized, plan.cuts.clone());
         std::hint::black_box(paid.makespan_ms);
@@ -140,7 +128,7 @@ fn main() {
     let direct_ms = started.elapsed().as_secs_f64() * 1e3;
 
     let started = Instant::now();
-    let online_rate = RateProfile::evaluate(&line, &mobile, &CloudModel::Negligible, SETUP_MS);
+    let online_rate = workload.rate_profile();
     let online_frontier =
         RateFrontier::compile(&online_rate, Strategy::JpsBestMix, N_JOBS, LO_MBPS, HI_MBPS)
             .expect("clustered alexnet profile is monotone");
@@ -175,12 +163,7 @@ fn main() {
     );
 
     // 3. Degradation ladder: per-burst ladder walk vs one frontier.
-    let mid_profile = CostProfile::evaluate(
-        &line,
-        &mobile,
-        &NetworkModel::new(18.88, SETUP_MS),
-        &CloudModel::Negligible,
-    );
+    let mid_profile = workload.cost_profile_at(18.88);
     let factors: Vec<f64> = (0..sizes.bursts)
         .map(|i| (0.5 + 0.5 * (i as f64 * 0.61).sin()).clamp(0.0, 1.0))
         .collect();

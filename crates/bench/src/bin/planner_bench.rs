@@ -18,9 +18,9 @@
 use std::time::{Duration, Instant};
 
 use mcdnn_bench::banner;
+use mcdnn_bench::workload::synthetic_profile;
 use mcdnn_partition::{reference, Plan, Strategy};
 use mcdnn_profile::CostProfile;
-use mcdnn_rng::Rng;
 
 /// Per-call budget: refine the estimate with more reps until this much
 /// wall time is spent (slow reference calls get a single rep).
@@ -189,28 +189,6 @@ fn bench<R>(mut f: impl FnMut() -> R) -> (R, f64) {
         reps += 1;
     }
     (first, start.elapsed().as_nanos() as f64 / f64::from(reps))
-}
-
-/// Monotone synthetic profile with `k + 1` cut points: `f` strictly
-/// increasing from 0, `g` non-increasing to 0 — the shape real
-/// mobile/uplink profiles take (Fig. 4 of the paper).
-fn synthetic_profile(k: usize, seed: u64) -> CostProfile {
-    let mut rng = Rng::seed_from_u64(seed);
-    let mut f = Vec::with_capacity(k + 1);
-    f.push(0.0);
-    let mut acc = 0.0;
-    for _ in 0..k {
-        acc += rng.gen_range(0.5..3.0);
-        f.push(acc);
-    }
-    let mut g = Vec::with_capacity(k + 1);
-    let mut rem = acc * rng.gen_range(0.8..1.2);
-    for _ in 0..k {
-        g.push(rem);
-        rem = (rem - rng.gen_range(0.5..3.0)).max(0.0);
-    }
-    g.push(0.0);
-    CostProfile::from_vectors(format!("synthetic-k{k}"), f, g, None)
 }
 
 fn fmt_ns(ns: f64) -> String {

@@ -25,6 +25,8 @@
 //! `std`-only worker pool ([`mcdnn_runtime::parallel_map`]); set
 //! `MCDNN_THREADS=1` for fully serial runs.
 
+pub mod workload;
+
 /// Format a millisecond value compactly for tables.
 pub fn fmt_ms(v: f64) -> String {
     if v >= 10_000.0 {

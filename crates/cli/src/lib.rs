@@ -151,6 +151,8 @@ USAGE:
   mcdnn hetero  --models <a,b,..> --counts <n1,n2,..> --bandwidth <Mbps>
   mcdnn chaos   --model <name> --bandwidth <Mbps> [--jobs <n>] [--bursts <k>]
                 [--fps <rate>] [--rho <frac>] [--seed <s>] [--setup-ms <ms>]
+  mcdnn serve   [--users <n>] [--bursts <k>] [--from <Mbps>] [--to <Mbps>]
+                [--fault-every <k>] [--seed <s>] [--setup-ms <ms>]
   mcdnn dot     --model <name>
 
 `plan` also accepts --svg <path> (SVG Gantt chart), --trace <path>
@@ -166,6 +168,13 @@ deterministic in --seed. It accepts --emit-trace <path> (Chrome trace
 of the drill: stage rows, fault windows, one flag per fault/recovery
 event) and --emit-metrics <path> (JSON snapshot including fault.* /
 degrade.* / recovery.* counters).
+
+`serve` runs a multi-tenant fleet — users drawn round-robin from the
+model zoo, each with its own seeded bandwidth walk — through the
+persistent worker pool and the shared sharded plan cache. Output is
+deterministic in --seed (no wall times), whatever MCDNN_THREADS says.
+It accepts --emit-metrics <path> (JSON snapshot including serve.* /
+frontier.shard.* / runtime.pool.* counters).
 ";
 
 /// Run the CLI on the given arguments (excluding the program name),
@@ -187,6 +196,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "stream" => cmd_stream(&flags),
         "hetero" => cmd_hetero(&flags),
         "chaos" => cmd_chaos(&flags),
+        "serve" => cmd_serve(&flags),
         "dot" => cmd_dot(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
@@ -642,6 +652,102 @@ fn cmd_chaos(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    let users = flags.parse_usize_or("users", 12)?;
+    let setup = flags.parse_f64_or("setup-ms", 10.0)?;
+    let config = mcdnn_sim::ServeConfig {
+        bursts_per_user: flags.parse_usize_or("bursts", 40)?,
+        lo_mbps: flags.parse_f64_or("from", 1.0)?,
+        hi_mbps: flags.parse_f64_or("to", 100.0)?,
+        fault_every: flags.parse_usize_or("fault-every", 16)?,
+        seed: flags.parse_u64_or("seed", 0x5EED)?,
+        ..mcdnn_sim::ServeConfig::default()
+    };
+    if users == 0 || config.bursts_per_user == 0 {
+        return Err(err("--users and --bursts must be positive"));
+    }
+    if !(config.lo_mbps > 0.0 && config.lo_mbps <= config.hi_mbps) {
+        return Err(err("need 0 < --from <= --to"));
+    }
+    let emit_metrics = flags.get("emit-metrics");
+    if emit_metrics.is_some() {
+        mcdnn_obs::set_enabled(true);
+        mcdnn_obs::reset();
+    }
+    // The fleet draws users round-robin from every zoo model whose rate
+    // profile the JPS theory admits on the reference platform.
+    let profiles: Vec<mcdnn_partition::RateProfile> = Model::ALL
+        .iter()
+        .filter_map(|&m| m.line().ok())
+        .map(|line| {
+            mcdnn_partition::RateProfile::evaluate(
+                &line,
+                &DeviceModel::raspberry_pi4(),
+                &CloudModel::Negligible,
+                setup,
+            )
+        })
+        .filter(|p| p.check_monotone().is_ok())
+        .collect();
+    let specs = mcdnn_sim::fleet(&profiles, users, &config);
+    let cache = std::sync::Arc::new(mcdnn_partition::PlanCache::new());
+    let pool =
+        mcdnn_runtime::WorkerPool::new(mcdnn_runtime::worker_threads().min(users));
+    let report = mcdnn_sim::serve_fleet(&pool, &cache, &specs, &config)
+        .map_err(|e| err(format!("serving failed: {e}")))?;
+
+    // Deterministic in --seed: no wall times, no thread counts — the
+    // same fleet prints byte-identically at any MCDNN_THREADS.
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet: {users} users x {} bursts over {} zoo models, {:.0}-{:.0} Mbps walks",
+        config.bursts_per_user,
+        profiles.len(),
+        config.lo_mbps,
+        config.hi_mbps
+    );
+    let _ = writeln!(
+        out,
+        "| user | model | strategy | jobs/burst | bursts | jobs | faulted | degraded | mean ms | digest |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
+    for u in &report.users {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.1} | {:016x} |",
+            u.id,
+            u.model,
+            u.strategy.label(),
+            u.n_jobs,
+            u.bursts,
+            u.jobs,
+            u.faulted_bursts,
+            u.degraded_bursts,
+            u.mean_makespan_ms,
+            u.digest,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ntotals: {} bursts, {} jobs, {} faulted, {} degraded; \
+         plan cache {} entries / {} shards; fleet digest={:016x}",
+        report.total_bursts,
+        report.total_jobs,
+        report.total_faulted_bursts,
+        report.total_degraded_bursts,
+        cache.len(),
+        cache.shards(),
+        report.fleet_digest,
+    );
+    if let Some(path) = emit_metrics {
+        std::fs::write(path, mcdnn_obs::snapshot().to_json())
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "wrote metrics snapshot to {path}");
+    }
+    Ok(out)
+}
+
 fn cmd_dot(flags: &Flags) -> Result<String, CliError> {
     let model = flags.model()?;
     Ok(mcdnn_graph::dot::to_dot(&model.graph()))
@@ -1026,6 +1132,58 @@ mod tests {
         .unwrap_err()
         .0
         .contains("--rho"));
+    }
+
+    #[test]
+    fn serve_reports_fleet_and_digest() {
+        let out = run_str(&["serve", "--users", "6", "--bursts", "10"]).unwrap();
+        assert!(out.contains("fleet: 6 users x 10 bursts"), "{out}");
+        assert!(out.contains("| user | model | strategy |"), "{out}");
+        assert!(out.contains("totals: 60 bursts"), "{out}");
+        assert!(out.contains("fleet digest="), "{out}");
+        // No wall times: byte-identical on re-run, sensitive to seed.
+        let again = run_str(&["serve", "--users", "6", "--bursts", "10"]).unwrap();
+        assert_eq!(out, again, "serve output must be deterministic");
+        let other = run_str(&["serve", "--users", "6", "--bursts", "10", "--seed", "9"]).unwrap();
+        assert_ne!(out, other, "seed must matter");
+    }
+
+    #[test]
+    fn serve_emit_metrics_exports_serving_counters() {
+        let _gate = METRICS_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("mcdnn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("serve.metrics.json");
+        let out = run_str(&[
+            "serve", "--users", "5", "--bursts", "12", "--fault-every", "4",
+            "--emit-metrics", metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("metrics snapshot"));
+        let snap = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = mcdnn_obs::json::parse(&snap).expect("metrics are valid JSON");
+        let counters = parsed.get("counters").expect("counters object");
+        let get = |key: &str| counters.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        // Serving volume, cache sharding, and pool execution all leave
+        // their marks in one snapshot.
+        assert_eq!(get("serve.users"), 5.0, "{snap}");
+        assert_eq!(get("serve.bursts"), 60.0, "{snap}");
+        assert!(get("serve.jobs") >= 60.0, "{snap}");
+        assert!(get("serve.faulted_bursts") >= 1.0, "{snap}");
+        assert!(get("frontier.shard.misses") >= 1.0, "{snap}");
+        assert!(get("runtime.pool.tasks") >= 5.0, "{snap}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(run_str(&["serve", "--users", "0"])
+            .unwrap_err()
+            .0
+            .contains("--users"));
+        assert!(run_str(&["serve", "--from", "5", "--to", "2"])
+            .unwrap_err()
+            .0
+            .contains("--from"));
     }
 
     #[test]

@@ -30,8 +30,9 @@
 //! profiles that happen to share a name never collide and a profile
 //! re-evaluated from the same model × device hits the cache.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use mcdnn_flowshop::kernels::{two_type_mix_makespan, uniform_makespan};
 use mcdnn_graph::LineDnn;
@@ -126,6 +127,18 @@ impl RateProfile {
     /// Upload volume in bytes at cut `l`.
     pub fn bytes(&self, cut: usize) -> usize {
         self.bytes[cut]
+    }
+
+    /// Mobile-stage time `f(l)` at cut `l`, ms (bandwidth-independent).
+    #[inline]
+    pub fn mobile_ms(&self, cut: usize) -> f64 {
+        self.f_ms[cut]
+    }
+
+    /// Cloud-stage time at cut `l`, ms (bandwidth-independent).
+    #[inline]
+    pub fn cloud_stage_ms(&self, cut: usize) -> f64 {
+        self.cloud_ms[cut]
     }
 
     /// Upload time of cut `l` at bandwidth `b` Mbps — the exact
@@ -630,49 +643,167 @@ fn refine(
     refine(probe, mid, sig_mid, hi, sig_hi, starts, sigs);
 }
 
-/// Content-addressed key: two distinct profiles never collide even if
-/// they share a display name, and re-evaluating the same model × device
-/// reproduces the same key bit-for-bit.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
-    f_bits: Vec<u64>,
-    bytes: Vec<usize>,
-    cloud_bits: Vec<u64>,
-    setup_bits: u64,
-    strategy: Strategy,
-    n: usize,
-    lo_bits: u64,
-    hi_bits: u64,
+/// Lock stripes in a default [`PlanCache`]. Steady-state hits never
+/// take these locks (the per-thread memo answers first); the striping
+/// keeps *cold* streams on different keys from serializing on one
+/// mutex.
+const DEFAULT_SHARDS: usize = 16;
+/// Slots in the per-thread direct-mapped hot-entry memo.
+const MEMO_SLOTS: usize = 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold one word into an FNV-1a accumulator.
+#[inline]
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
 }
 
-impl CacheKey {
-    fn new(profile: &RateProfile, strategy: Strategy, n: usize, lo: f64, hi: f64) -> Self {
-        CacheKey {
-            f_bits: profile.f_ms.iter().map(|v| v.to_bits()).collect(),
-            bytes: profile.bytes.clone(),
-            cloud_bits: profile.cloud_ms.iter().map(|v| v.to_bits()).collect(),
-            setup_bits: profile.setup_ms.to_bits(),
-            strategy,
-            n,
-            lo_bits: lo.to_bits(),
-            hi_bits: hi.to_bits(),
-        }
+/// Content hash of a cache query — profile stage bits, strategy, job
+/// count, range — computed once per lookup with zero allocation. The
+/// profile *name* is deliberately excluded: the cache is keyed by
+/// content (see the module docs).
+fn content_hash(
+    profile: &RateProfile,
+    strategy: Strategy,
+    n: usize,
+    lo_mbps: f64,
+    hi_mbps: f64,
+) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv_fold(h, profile.f_ms.len() as u64);
+    for v in &profile.f_ms {
+        h = fnv_fold(h, v.to_bits());
+    }
+    for &b in &profile.bytes {
+        h = fnv_fold(h, b as u64);
+    }
+    for v in &profile.cloud_ms {
+        h = fnv_fold(h, v.to_bits());
+    }
+    h = fnv_fold(h, profile.setup_ms.to_bits());
+    h = fnv_fold(h, strategy as u64);
+    h = fnv_fold(h, n as u64);
+    h = fnv_fold(h, lo_mbps.to_bits());
+    fnv_fold(h, hi_mbps.to_bits())
+}
+
+/// Bitwise content equality of two profiles, name excluded — the
+/// collision check behind the pre-hash. Borrows both sides; nothing is
+/// materialized.
+fn profile_content_eq(a: &RateProfile, b: &RateProfile) -> bool {
+    a.f_ms.len() == b.f_ms.len()
+        && a.setup_ms.to_bits() == b.setup_ms.to_bits()
+        && a.bytes == b.bytes
+        && a.f_ms.iter().zip(&b.f_ms).all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.cloud_ms.iter().zip(&b.cloud_ms).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// True when a cached frontier answers exactly this query. The
+/// comparison runs against the profile the frontier itself stores, so
+/// a hit needs no key materialization at all.
+fn frontier_matches(
+    fr: &RateFrontier,
+    profile: &RateProfile,
+    strategy: Strategy,
+    n: usize,
+    lo_mbps: f64,
+    hi_mbps: f64,
+) -> bool {
+    fr.strategy == strategy
+        && fr.n == n
+        && fr.lo_mbps.to_bits() == lo_mbps.to_bits()
+        && fr.hi_mbps.to_bits() == hi_mbps.to_bits()
+        && profile_content_eq(&fr.profile, profile)
+}
+
+/// One entry of a lock stripe. Entry counts per shard are tiny (a
+/// handful of model × strategy × n combinations), so a linear scan
+/// under the pre-hash filter beats a `HashMap`'s re-hash of Vec-backed
+/// keys — and allocates nothing.
+struct ShardEntry {
+    hash: u64,
+    frontier: Arc<RateFrontier>,
+}
+
+/// One slot of the per-thread hot-entry memo.
+struct MemoEntry {
+    cache_id: u64,
+    generation: u64,
+    hash: u64,
+    frontier: Arc<RateFrontier>,
+}
+
+thread_local! {
+    /// Direct-mapped per-thread memo: a steady-state stream re-fetching
+    /// the same frontier is answered here — no lock, no allocation.
+    /// Entries are validated by `(cache_id, generation, hash)` plus a
+    /// full content compare, so a cleared or foreign cache can never
+    /// serve a stale frontier.
+    static HOT_MEMO: RefCell<[Option<MemoEntry>; MEMO_SLOTS]> =
+        const { RefCell::new([const { None }; MEMO_SLOTS]) };
+}
+
+/// Distinguishes caches inside the per-thread memo.
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A shared, thread-safe cache of compiled [`RateFrontier`]s keyed by
+/// profile content × strategy × job count × range. Std-only and
+/// contention-free in steady state:
+///
+/// 1. every lookup pre-hashes its key once (FNV-1a over the content
+///    bits, zero allocation);
+/// 2. a **per-thread direct-mapped memo** answers repeat fetches with
+///    no lock at all;
+/// 3. memo misses probe one of N `RwLock` **shards** selected by the
+///    hash, so cold streams on different keys do not serialize;
+/// 4. only a genuine miss compiles — outside any lock — and publishes
+///    under a single shard's write lock.
+///
+/// Results are bit-identical to a single-lock map: entries are matched
+/// by full content comparison (never by hash alone), and compilation
+/// is deterministic, so racing misses converge on equal frontiers.
+#[derive(Debug)]
+pub struct PlanCache {
+    id: u64,
+    /// Bumped by [`PlanCache::clear`]; invalidates every memo entry.
+    generation: AtomicU64,
+    shards: Box<[RwLock<Vec<ShardEntry>>]>,
+}
+
+impl std::fmt::Debug for ShardEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardEntry")
+            .field("hash", &self.hash)
+            .field("profile", &self.frontier.profile().name())
+            .finish()
     }
 }
 
-/// A shared, thread-safe cache of compiled [`RateFrontier`]s keyed by
-/// profile content × strategy × job count × range. Std-only: a
-/// [`Mutex`]-guarded map handing out [`Arc`]s, so lookups after the
-/// first compile are a hash probe plus an atomic increment.
-#[derive(Debug, Default)]
-pub struct PlanCache {
-    inner: Mutex<HashMap<CacheKey, Arc<RateFrontier>>>,
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default shard count.
     pub fn new() -> Self {
         PlanCache::default()
+    }
+
+    /// An empty cache with exactly `shards ≥ 1` lock stripes.
+    /// `with_shards(1)` reproduces the single-lock layout (every key on
+    /// one stripe) — the reference the equivalence tests compare
+    /// against; hits are still memo-served and allocation-free.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards >= 1, "a cache needs at least one shard");
+        PlanCache {
+            id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
+            generation: AtomicU64::new(0),
+            shards: (0..shards).map(|_| RwLock::new(Vec::new())).collect(),
+        }
     }
 
     /// The process-wide cache shared by the simulation loops.
@@ -681,9 +812,15 @@ impl PlanCache {
         GLOBAL.get_or_init(PlanCache::new)
     }
 
+    /// Number of lock stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Fetch (or compile and insert) the frontier for
-    /// `(profile, strategy, n, lo, hi)`. Compilation runs outside the
-    /// lock, so concurrent misses on different keys do not serialize.
+    /// `(profile, strategy, n, lo, hi)`. A steady-state hit touches no
+    /// lock and performs zero heap allocations; a cold hit takes one
+    /// shard read lock; only a genuine miss compiles, outside any lock.
     /// Errors are not cached — the monotonicity check is cheap.
     pub fn frontier(
         &self,
@@ -693,22 +830,84 @@ impl PlanCache {
         lo_mbps: f64,
         hi_mbps: f64,
     ) -> Result<Arc<RateFrontier>, PlanError> {
-        let key = CacheKey::new(profile, strategy, n, lo_mbps, hi_mbps);
-        if let Some(hit) = self.inner.lock().expect("cache poisoned").get(&key) {
+        let hash = content_hash(profile, strategy, n, lo_mbps, hi_mbps);
+        let generation = self.generation.load(Ordering::Acquire);
+        let memo_hit = HOT_MEMO.with(|memo| match &memo.borrow()[hash as usize % MEMO_SLOTS] {
+            Some(e)
+                if e.cache_id == self.id
+                    && e.generation == generation
+                    && e.hash == hash
+                    && frontier_matches(&e.frontier, profile, strategy, n, lo_mbps, hi_mbps) =>
+            {
+                Some(Arc::clone(&e.frontier))
+            }
+            _ => None,
+        });
+        if let Some(hit) = memo_hit {
             mcdnn_obs::counter_add("frontier.cache.hit", 1);
-            return Ok(Arc::clone(hit));
+            mcdnn_obs::counter_add("frontier.shard.memo_hits", 1);
+            return Ok(hit);
+        }
+        let shard = &self.shards[hash as usize % self.shards.len()];
+        let shared = shard
+            .read()
+            .expect("shard poisoned")
+            .iter()
+            .find(|e| {
+                e.hash == hash
+                    && frontier_matches(&e.frontier, profile, strategy, n, lo_mbps, hi_mbps)
+            })
+            .map(|e| Arc::clone(&e.frontier));
+        if let Some(hit) = shared {
+            mcdnn_obs::counter_add("frontier.cache.hit", 1);
+            mcdnn_obs::counter_add("frontier.shard.hits", 1);
+            self.memoize(generation, hash, &hit);
+            return Ok(hit);
         }
         mcdnn_obs::counter_add("frontier.cache.miss", 1);
+        mcdnn_obs::counter_add("frontier.shard.misses", 1);
         let compiled = Arc::new(RateFrontier::compile(
             profile, strategy, n, lo_mbps, hi_mbps,
         )?);
-        let mut map = self.inner.lock().expect("cache poisoned");
-        Ok(Arc::clone(map.entry(key).or_insert(compiled)))
+        let mut entries = shard.write().expect("shard poisoned");
+        let out = match entries.iter().find(|e| {
+            e.hash == hash && frontier_matches(&e.frontier, profile, strategy, n, lo_mbps, hi_mbps)
+        }) {
+            // A racing miss published first; compilation is
+            // deterministic, so the entries are interchangeable — keep
+            // the shared one.
+            Some(existing) => Arc::clone(&existing.frontier),
+            None => {
+                entries.push(ShardEntry {
+                    hash,
+                    frontier: Arc::clone(&compiled),
+                });
+                compiled
+            }
+        };
+        drop(entries);
+        self.memoize(generation, hash, &out);
+        Ok(out)
     }
 
-    /// Number of cached frontiers.
+    /// Install a frontier into this thread's hot memo.
+    fn memoize(&self, generation: u64, hash: u64, frontier: &Arc<RateFrontier>) {
+        HOT_MEMO.with(|memo| {
+            memo.borrow_mut()[hash as usize % MEMO_SLOTS] = Some(MemoEntry {
+                cache_id: self.id,
+                generation,
+                hash,
+                frontier: Arc::clone(frontier),
+            });
+        });
+    }
+
+    /// Number of cached frontiers across all shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned").len())
+            .sum()
     }
 
     /// True when nothing has been cached yet.
@@ -716,9 +915,15 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Drop every cached frontier (tests; cost-model changes).
+    /// Drop every cached frontier (tests; cost-model changes). Memo
+    /// entries on other threads are invalidated by the generation bump;
+    /// they release their `Arc`s lazily on their next fetch through
+    /// this cache's memo slot.
     pub fn clear(&self) {
-        self.inner.lock().expect("cache poisoned").clear();
+        self.generation.fetch_add(1, Ordering::Release);
+        for shard in self.shards.iter() {
+            shard.write().expect("shard poisoned").clear();
+        }
     }
 }
 
@@ -911,6 +1116,80 @@ mod tests {
         cache.frontier(&rate, Strategy::Jps, 4, 0.1, 50.0).unwrap();
         assert_eq!(mcdnn_obs::counter_value("frontier.cache.miss") - miss0, 2);
         assert_eq!(mcdnn_obs::counter_value("frontier.cache.hit") - hit0, 1);
+    }
+
+    #[test]
+    fn sharded_and_single_lock_caches_agree() {
+        let sharded = PlanCache::new();
+        let single = PlanCache::with_shards(1);
+        assert_eq!(single.shards(), 1);
+        assert!(sharded.shards() > 1);
+        let rate = rate_profile();
+        for strategy in [Strategy::Jps, Strategy::JpsBestMix] {
+            for n in [1usize, 3, 9] {
+                let a = sharded.frontier(&rate, strategy, n, 0.1, 200.0).unwrap();
+                let b = single.frontier(&rate, strategy, n, 0.1, 200.0).unwrap();
+                assert_eq!(a.breakpoints(), b.breakpoints(), "{strategy:?} n={n}");
+                for i in 0..60 {
+                    let bw = 0.1 * (200.0f64 / 0.1).powf(i as f64 / 59.0);
+                    assert_eq!(a.decide_at(bw).mix, b.decide_at(bw).mix);
+                    assert_eq!(a.plan_at(bw), b.plan_at(bw));
+                }
+            }
+        }
+        assert_eq!(sharded.len(), single.len());
+    }
+
+    #[test]
+    fn clear_invalidates_the_thread_memo() {
+        mcdnn_obs::set_enabled(true);
+        let cache = PlanCache::new();
+        let rate = rate_profile();
+        let a = cache.frontier(&rate, Strategy::Jps, 5, 0.1, 50.0).unwrap();
+        // Warm the memo, then clear: the generation bump must force a
+        // recompile even though the memo slot still holds `a`.
+        let _ = cache.frontier(&rate, Strategy::Jps, 5, 0.1, 50.0).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        let miss0 = mcdnn_obs::counter_value("frontier.cache.miss");
+        let b = cache.frontier(&rate, Strategy::Jps, 5, 0.1, 50.0).unwrap();
+        assert_eq!(mcdnn_obs::counter_value("frontier.cache.miss") - miss0, 1);
+        assert!(!Arc::ptr_eq(&a, &b), "cleared entries must not resurface");
+        assert_eq!(a.breakpoints(), b.breakpoints(), "recompile is deterministic");
+    }
+
+    #[test]
+    fn memo_answers_repeat_fetches_and_shards_answer_fresh_threads() {
+        mcdnn_obs::set_enabled(true);
+        let cache = PlanCache::new();
+        let rate = rate_profile();
+        let a = cache
+            .frontier(&rate, Strategy::JpsBestMix, 4, 0.1, 80.0)
+            .unwrap();
+        let memo0 = mcdnn_obs::counter_value("frontier.shard.memo_hits");
+        let b = cache
+            .frontier(&rate, Strategy::JpsBestMix, 4, 0.1, 80.0)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            mcdnn_obs::counter_value("frontier.shard.memo_hits") - memo0,
+            1,
+            "repeat fetch on the same thread is memo-served"
+        );
+        // A fresh thread has a cold memo: its first fetch is a shard
+        // read hit, not a miss.
+        let shard0 = mcdnn_obs::counter_value("frontier.shard.hits");
+        let miss0 = mcdnn_obs::counter_value("frontier.cache.miss");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let c = cache
+                    .frontier(&rate, Strategy::JpsBestMix, 4, 0.1, 80.0)
+                    .unwrap();
+                assert!(Arc::ptr_eq(&a, &c));
+            });
+        });
+        assert_eq!(mcdnn_obs::counter_value("frontier.shard.hits") - shard0, 1);
+        assert_eq!(mcdnn_obs::counter_value("frontier.cache.miss") - miss0, 0);
     }
 
     #[test]

@@ -18,9 +18,17 @@
 //!   never more threads than items.
 //! * Panics in workers propagate: the scope joins all threads and
 //!   re-raises, so a failing scenario cannot be silently dropped.
+//!
+//! For steady-state serving loops — many small batches forever, where
+//! per-batch thread spawns would dominate — use the persistent
+//! [`WorkerPool`] in [`pool`] instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::WorkerPool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -69,12 +77,14 @@ where
     let sweep_span = mcdnn_obs::span("runtime", "parallel_map");
     mcdnn_obs::counter_add("runtime.jobs", items.len() as u64);
     let cursor = AtomicUsize::new(0);
-    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    // Preallocated slot table: each worker writes result `i` straight
+    // into `slots[i]` (disjoint indices, so every lock is uncontended),
+    // making the final ordered collect O(n) moves instead of a sort.
+    let slots: Vec<Mutex<Option<R>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                // Batch locally; merge once per worker to keep the lock cold.
-                let mut local: Vec<(usize, R)> = Vec::new();
                 let started = observe.then(std::time::Instant::now);
                 let mut busy = std::time::Duration::ZERO;
                 loop {
@@ -82,17 +92,19 @@ where
                     if i >= items.len() {
                         break;
                     }
-                    if started.is_some() {
+                    let r = if started.is_some() {
                         let t0 = std::time::Instant::now();
-                        local.push((i, f(i, &items[i])));
+                        let r = f(i, &items[i]);
                         busy += t0.elapsed();
+                        r
                     } else {
-                        local.push((i, f(i, &items[i])));
-                    }
+                        f(i, &items[i])
+                    };
+                    *slots[i].lock().expect("slot poisoned") = Some(r);
                 }
                 if let Some(start) = started {
                     // Fraction of the worker's lifetime spent inside
-                    // `f` (vs. queue contention + result merging).
+                    // `f` (vs. queue contention + slot writes).
                     let alive = start.elapsed().as_secs_f64();
                     if alive > 0.0 {
                         mcdnn_obs::observe_ms(
@@ -101,15 +113,18 @@ where
                         );
                     }
                 }
-                done.lock().expect("no worker poisoned the results").extend(local);
             });
         }
     });
     drop(sweep_span);
-    let mut indexed = done.into_inner().expect("scope joined every worker");
-    indexed.sort_unstable_by_key(|&(i, _)| i);
-    debug_assert_eq!(indexed.len(), items.len());
-    indexed.into_iter().map(|(_, r)| r).collect()
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("scope joined every worker")
+                .expect("cursor visited every index")
+        })
+        .collect()
 }
 
 /// [`parallel_map`] over an owned vector of inputs.

@@ -29,6 +29,7 @@ pub mod executor;
 pub mod fault;
 pub mod online;
 pub mod robustness;
+pub mod serve;
 pub mod stream;
 pub mod trace;
 pub mod validate;
@@ -48,6 +49,10 @@ pub use executor::{
     run_pipeline, run_pipeline_faulted, ClockMode, ExecTrace, ExecutorConfig, FaultedExecTrace,
 };
 pub use online::{run_online, BandwidthTrace, OnlineResult, ReplanPolicy};
+pub use serve::{
+    fleet, run_user, serve_fleet, serve_fleet_serial, BurstOutcome, ServeConfig, ServeReport,
+    UserSession, UserSpec, UserSummary,
+};
 pub use robustness::{
     chaos_drill, chaos_scenarios, realized_makespans, run_chaos_grid, ChaosDrill, ChaosRow,
     ChaosScenario, MakespanStats,

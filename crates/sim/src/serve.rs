@@ -1,0 +1,690 @@
+//! Multi-tenant serving: a fleet of user streams planning and
+//! simulating through shared infrastructure.
+//!
+//! The experiment harness answers "what is the optimal schedule for
+//! one stream"; the ROADMAP's north star is a system that serves heavy
+//! traffic from *many* users at once. This module models that regime:
+//!
+//! * a **fleet** of users ([`fleet`]) mixes the model zoo, per-user
+//!   bandwidth traces and per-user job counts, all seeded through
+//!   `mcdnn-rng` so every run is reproducible;
+//! * each [`UserSession`] admits bursts through the **shared
+//!   [`PlanCache`]** (one frontier fetch per session — the steady-state
+//!   hit path), a per-session [`LadderFrontier`] for link-degradation
+//!   decisions, and a per-session [`DesArena`] whose buffers live as
+//!   long as the session (thread-local by construction: a session never
+//!   migrates between workers mid-run);
+//! * [`serve_fleet`] drives every session across a persistent
+//!   [`WorkerPool`], returning per-user summaries **in user-id order**,
+//!   so the report is byte-identical regardless of worker count.
+//!
+//! Steady-state contract: once a session is warm (frontier fetched,
+//! arena buffers grown), a fault-free [`UserSession::admit_burst`]
+//! performs **zero heap allocations** — bandwidth walk, ladder
+//! decision, frontier lookup, job-vector refill and DES run all reuse
+//! session-owned storage. The `serve_alloc_free` integration test
+//! proves this with a counting allocator. Every `fault_every`-th burst
+//! additionally replays through [`DesArena::simulate_faulted`] with a
+//! seeded [`FaultPlan`]; that path allocates (the fault plan and link
+//! timeline are built per run) and is excluded from the contract,
+//! exactly as [`DesArena`] documents.
+//!
+//! Determinism contract: a user's burst stream depends only on its
+//! spec and the [`ServeConfig`] — never on scheduling. Each summary
+//! carries an FNV-1a digest folding every burst's bandwidth bits, cut
+//! structure, ladder level, makespan bits and fault-event fields; the
+//! fleet digest folds the user digests in id order. Equal digests ⇒
+//! bit-identical serving histories.
+
+use std::sync::Arc;
+
+use mcdnn_flowshop::FlowJob;
+use mcdnn_partition::{CutMix, PlanCache, PlanError, RateFrontier, RateProfile, Strategy};
+use mcdnn_rng::Rng;
+use mcdnn_runtime::WorkerPool;
+
+use crate::degrade::{LadderFrontier, LadderLevel};
+use crate::des::{DesArena, DesConfig, FaultedRun};
+use crate::fault::{FaultEventKind, FaultPlan, FaultSpec, RetryPolicy};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Knobs shared by every user of a serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Bursts each user admits before its session ends.
+    pub bursts_per_user: usize,
+    /// Lower edge of the compiled bandwidth range, Mbps.
+    pub lo_mbps: f64,
+    /// Upper edge of the compiled bandwidth range, Mbps.
+    pub hi_mbps: f64,
+    /// Target admission rate for the degradation ladder, Hz.
+    pub target_hz: f64,
+    /// Utilization ceiling for the degradation ladder.
+    pub rho_limit: f64,
+    /// Per-burst probability of a degraded link (ladder consulted).
+    pub degrade_prob: f64,
+    /// Every `fault_every`-th burst replays under a seeded fault plan
+    /// (0 = never).
+    pub fault_every: usize,
+    /// Seed for fleet generation; per-user seeds derive from it.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bursts_per_user: 200,
+            lo_mbps: 1.0,
+            hi_mbps: 100.0,
+            target_hz: 20.0,
+            rho_limit: 0.9,
+            degrade_prob: 0.05,
+            fault_every: 0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One user of the fleet: which model it runs, how it plans, how many
+/// jobs per burst, and the seed of its private bandwidth/fault trace.
+#[derive(Debug, Clone)]
+pub struct UserSpec {
+    /// Fleet-wide user id (also the report ordering key).
+    pub id: usize,
+    /// The user's model, bandwidth-parameterized.
+    pub profile: RateProfile,
+    /// Planning strategy ([`Strategy::Jps`] or [`Strategy::JpsBestMix`]).
+    pub strategy: Strategy,
+    /// Jobs per admitted burst.
+    pub n_jobs: usize,
+    /// Seed of the user's private RNG stream.
+    pub seed: u64,
+}
+
+/// Generate a mixed fleet: users cycle through the monotone profiles
+/// (non-monotone ones are skipped — the frontier would reject them,
+/// same as `Strategy::try_plan`), alternate strategies and draw job
+/// counts and trace seeds from `config.seed`.
+pub fn fleet(profiles: &[RateProfile], users: usize, config: &ServeConfig) -> Vec<UserSpec> {
+    let usable: Vec<&RateProfile> = profiles
+        .iter()
+        .filter(|p| p.check_monotone().is_ok())
+        .collect();
+    assert!(!usable.is_empty(), "need at least one monotone profile");
+    let mut rng = Rng::seed_from_u64(config.seed);
+    (0..users)
+        .map(|id| {
+            let profile = usable[id % usable.len()].clone();
+            let strategy = if rng.gen_bool(0.5) {
+                Strategy::JpsBestMix
+            } else {
+                Strategy::Jps
+            };
+            let n_jobs = rng.gen_range(2usize..=8);
+            UserSpec {
+                id,
+                profile,
+                strategy,
+                n_jobs,
+                seed: rng.next_u64(),
+            }
+        })
+        .collect()
+}
+
+/// What one admitted burst did — returned so callers (tests, the CLI)
+/// can audit a session burst by burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstOutcome {
+    /// Link bandwidth the burst observed, Mbps.
+    pub bandwidth_mbps: f64,
+    /// The cut structure the burst executed.
+    pub mix: CutMix,
+    /// Ladder rung (Normal unless the link degraded this burst).
+    pub level: LadderLevel,
+    /// DES makespan of the burst, ms.
+    pub makespan_ms: f64,
+    /// True when this burst replayed under a fault plan.
+    pub faulted: bool,
+}
+
+/// One user's live serving state. See the module docs for the
+/// steady-state allocation contract.
+pub struct UserSession {
+    id: usize,
+    n_jobs: usize,
+    strategy: Strategy,
+    frontier: Arc<RateFrontier>,
+    ladder: LadderFrontier,
+    rng: Rng,
+    bandwidth: f64,
+    lo_mbps: f64,
+    hi_mbps: f64,
+    degrade_prob: f64,
+    fault_every: usize,
+    /// Reused job buffer — refilled in place every burst.
+    jobs: Vec<FlowJob>,
+    /// Identity admission order (the frontier's layout is already the
+    /// planner's winning order: `prev` block first, then `star`).
+    order: Vec<usize>,
+    arena: DesArena,
+    burst_index: usize,
+    bursts: u64,
+    jobs_done: u64,
+    faulted_bursts: u64,
+    degraded_bursts: u64,
+    makespan_sum_ms: f64,
+    digest: u64,
+}
+
+impl std::fmt::Debug for UserSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserSession")
+            .field("id", &self.id)
+            .field("model", &self.frontier.profile().name())
+            .field("strategy", &self.strategy)
+            .field("n_jobs", &self.n_jobs)
+            .field("bursts", &self.bursts)
+            .finish()
+    }
+}
+
+impl UserSession {
+    /// Open a session: fetch the user's frontier from the shared cache
+    /// (the only cache touch of the session) and compile its
+    /// degradation ladder at the geometric mid-bandwidth.
+    pub fn start(
+        cache: &PlanCache,
+        spec: &UserSpec,
+        config: &ServeConfig,
+    ) -> Result<UserSession, PlanError> {
+        assert!(spec.n_jobs >= 1, "a burst needs at least one job");
+        let frontier = cache.frontier(
+            &spec.profile,
+            spec.strategy,
+            spec.n_jobs,
+            config.lo_mbps,
+            config.hi_mbps,
+        )?;
+        let mid = (config.lo_mbps * config.hi_mbps).sqrt();
+        let ladder = LadderFrontier::compile(
+            &spec.profile.profile_at(mid),
+            config.target_hz,
+            config.rho_limit,
+            spec.n_jobs,
+        );
+        let mut rng = Rng::seed_from_u64(spec.seed);
+        let bandwidth = config.lo_mbps * (config.hi_mbps / config.lo_mbps).powf(rng.f64());
+        mcdnn_obs::counter_add("serve.sessions", 1);
+        Ok(UserSession {
+            id: spec.id,
+            n_jobs: spec.n_jobs,
+            strategy: spec.strategy,
+            frontier,
+            ladder,
+            rng,
+            bandwidth,
+            lo_mbps: config.lo_mbps,
+            hi_mbps: config.hi_mbps,
+            degrade_prob: config.degrade_prob,
+            fault_every: config.fault_every,
+            jobs: Vec::with_capacity(spec.n_jobs),
+            order: (0..spec.n_jobs).collect(),
+            arena: DesArena::new(),
+            burst_index: 0,
+            bursts: 0,
+            jobs_done: 0,
+            faulted_bursts: 0,
+            degraded_bursts: 0,
+            makespan_sum_ms: 0.0,
+            digest: FNV_OFFSET,
+        })
+    }
+
+    /// Admit one burst: walk the bandwidth trace, consult the ladder if
+    /// the link degraded, take the frontier's O(log P) decision, refill
+    /// the job buffer in place and run it through the warm arena.
+    /// Zero heap allocations once warm, except on faulted bursts (see
+    /// the module docs).
+    pub fn admit_burst(&mut self) -> BurstOutcome {
+        self.burst_index += 1;
+        // Multiplicative bandwidth walk, clamped inside the compiled
+        // range (an out-of-range query would fall back to a direct —
+        // allocating — planning pass).
+        let step = 1.0 + 0.25 * (self.rng.f64() * 2.0 - 1.0);
+        self.bandwidth = (self.bandwidth * step).clamp(self.lo_mbps, self.hi_mbps);
+        let roll = self.rng.f64();
+        let degraded = roll < self.degrade_prob;
+
+        // Decide the burst's cut structure. A degraded link walks the
+        // ladder with the remaining rate fraction `x`: MobileOnly runs
+        // everything on-device (uniform cut k ⇒ g = 0); any other rung
+        // replans through the frontier at the degraded bandwidth.
+        let k = self.frontier.profile().k();
+        let (mix, level, b_eff) = if degraded {
+            let x = self.rng.f64();
+            let decision = self.ladder.decide(x);
+            if decision.level == LadderLevel::MobileOnly {
+                (CutMix::Uniform { cut: k }, decision.level, self.bandwidth)
+            } else {
+                let b_eff = (self.bandwidth * x).clamp(self.lo_mbps, self.hi_mbps);
+                (self.frontier.decide_at(b_eff).mix, decision.level, b_eff)
+            }
+        } else {
+            (
+                self.frontier.decide_at(self.bandwidth).mix,
+                LadderLevel::Normal,
+                self.bandwidth,
+            )
+        };
+
+        // Refill the job buffer in place with the mix's layout — the
+        // planner's winning order (`prev` block first, then `star`), so
+        // the 1-channel/1-slot DES reproduces the two-stage recurrence.
+        let profile = self.frontier.profile();
+        let (first_n, f1, g1, f2, g2) = match mix {
+            CutMix::Uniform { cut } => {
+                let f = profile.mobile_ms(cut);
+                let g = profile.upload_ms_at(cut, b_eff);
+                (self.n_jobs, f, g, 0.0, 0.0)
+            }
+            CutMix::Mix {
+                prev,
+                star,
+                at_prev,
+            } => (
+                at_prev,
+                profile.mobile_ms(prev),
+                profile.upload_ms_at(prev, b_eff),
+                profile.mobile_ms(star),
+                profile.upload_ms_at(star, b_eff),
+            ),
+        };
+        let fallback_cut = match mix {
+            CutMix::Uniform { cut } => cut,
+            CutMix::Mix { star, .. } => star,
+        };
+        let local_fallback_ms = profile.mobile_ms(k) - profile.mobile_ms(fallback_cut);
+        let kernel_ms = profile.mix_makespan(self.n_jobs, mix, b_eff);
+        self.jobs.clear();
+        for j in 0..self.n_jobs {
+            let (f, g) = if j < first_n { (f1, g1) } else { (f2, g2) };
+            self.jobs.push(FlowJob::two_stage(j, f, g));
+        }
+
+        let des = DesConfig {
+            uplink_channels: 1,
+            cloud_slots: 1,
+            jitter_frac: 0.0,
+            seed: 0,
+        };
+        let faulted = self.fault_every != 0 && self.burst_index.is_multiple_of(self.fault_every);
+        let (makespan_ms, events_digest) = if faulted {
+            // Seeded fault replay — the allocating exception to the
+            // steady-state contract (FaultPlan + link timeline are
+            // built per run).
+            let faults = FaultPlan::random(
+                &FaultSpec::default(),
+                self.n_jobs,
+                kernel_ms.max(1.0) * 2.0,
+                self.rng.next_u64(),
+            );
+            let run = FaultedRun {
+                faults,
+                retry: RetryPolicy::default(),
+                local_fallback_ms,
+            };
+            let m = self.arena.simulate_faulted(&self.jobs, &self.order, &des, &run);
+            let mut d = FNV_OFFSET;
+            for e in self.arena.events() {
+                d = fnv_fold(d, e.t_ms.to_bits());
+                d = fnv_fold(d, e.job as u64);
+                d = match e.kind {
+                    FaultEventKind::UploadLost { attempt } => fnv_fold(fnv_fold(d, 0), attempt as u64),
+                    FaultEventKind::RetryScheduled { attempt, delay_ms } => {
+                        fnv_fold(fnv_fold(fnv_fold(d, 1), attempt as u64), delay_ms.to_bits())
+                    }
+                    FaultEventKind::UploadRecovered { attempts } => {
+                        fnv_fold(fnv_fold(d, 2), attempts as u64)
+                    }
+                    FaultEventKind::LocalFallback => fnv_fold(d, 3),
+                    FaultEventKind::CloudStraggled { factor } => {
+                        fnv_fold(fnv_fold(d, 4), factor.to_bits())
+                    }
+                };
+            }
+            (m, d)
+        } else {
+            (self.arena.simulate(&self.jobs, &self.order, &des), 0)
+        };
+
+        // Fold the burst into the session digest: bandwidth, cut
+        // structure, ladder rung, makespan, fault events.
+        let mut d = self.digest;
+        d = fnv_fold(d, self.bandwidth.to_bits());
+        let (tag, m1, m2, m3) = match mix {
+            CutMix::Uniform { cut } => (0u64, cut as u64, 0, 0),
+            CutMix::Mix {
+                prev,
+                star,
+                at_prev,
+            } => (1, prev as u64, star as u64, at_prev as u64),
+        };
+        d = fnv_fold(fnv_fold(fnv_fold(fnv_fold(d, tag), m1), m2), m3);
+        d = fnv_fold(d, level as u64);
+        d = fnv_fold(d, makespan_ms.to_bits());
+        d = fnv_fold(d, events_digest);
+        self.digest = d;
+
+        self.bursts += 1;
+        self.jobs_done += self.n_jobs as u64;
+        self.makespan_sum_ms += makespan_ms;
+        if faulted {
+            self.faulted_bursts += 1;
+        }
+        if degraded {
+            self.degraded_bursts += 1;
+        }
+        mcdnn_obs::counter_add("serve.bursts", 1);
+        mcdnn_obs::counter_add("serve.jobs", self.n_jobs as u64);
+        if faulted {
+            mcdnn_obs::counter_add("serve.faulted_bursts", 1);
+        }
+        if degraded {
+            mcdnn_obs::counter_add("serve.degraded_bursts", 1);
+        }
+        BurstOutcome {
+            bandwidth_mbps: self.bandwidth,
+            mix,
+            level,
+            makespan_ms,
+            faulted,
+        }
+    }
+
+    /// Close the session into its summary.
+    pub fn finish(self) -> UserSummary {
+        UserSummary {
+            id: self.id,
+            model: self.frontier.profile().name().to_string(),
+            strategy: self.strategy,
+            n_jobs: self.n_jobs,
+            bursts: self.bursts,
+            jobs: self.jobs_done,
+            faulted_bursts: self.faulted_bursts,
+            degraded_bursts: self.degraded_bursts,
+            mean_makespan_ms: if self.bursts == 0 {
+                0.0
+            } else {
+                self.makespan_sum_ms / self.bursts as f64
+            },
+            digest: self.digest,
+        }
+    }
+}
+
+/// One user's completed serving history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserSummary {
+    /// Fleet-wide user id.
+    pub id: usize,
+    /// Model name (display only; never part of cache identity).
+    pub model: String,
+    /// Planning strategy.
+    pub strategy: Strategy,
+    /// Jobs per burst.
+    pub n_jobs: usize,
+    /// Bursts admitted.
+    pub bursts: u64,
+    /// Total jobs executed.
+    pub jobs: u64,
+    /// Bursts replayed under a fault plan.
+    pub faulted_bursts: u64,
+    /// Bursts that saw a degraded link.
+    pub degraded_bursts: u64,
+    /// Mean DES makespan per burst, ms.
+    pub mean_makespan_ms: f64,
+    /// FNV-1a digest of the full burst history (see module docs).
+    pub digest: u64,
+}
+
+/// Run one user start-to-finish: open a session against the shared
+/// cache and admit `config.bursts_per_user` bursts.
+pub fn run_user(
+    cache: &PlanCache,
+    spec: &UserSpec,
+    config: &ServeConfig,
+) -> Result<UserSummary, PlanError> {
+    let mut session = UserSession::start(cache, spec, config)?;
+    for _ in 0..config.bursts_per_user {
+        session.admit_burst();
+    }
+    mcdnn_obs::counter_add("serve.users", 1);
+    Ok(session.finish())
+}
+
+/// A completed serving run: per-user summaries in id order plus fleet
+/// aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-user summaries, ordered by user id.
+    pub users: Vec<UserSummary>,
+    /// Total bursts admitted across the fleet.
+    pub total_bursts: u64,
+    /// Total jobs executed across the fleet.
+    pub total_jobs: u64,
+    /// Total faulted bursts.
+    pub total_faulted_bursts: u64,
+    /// Total degraded bursts.
+    pub total_degraded_bursts: u64,
+    /// FNV-1a fold of the user digests in id order.
+    pub fleet_digest: u64,
+}
+
+/// Aggregate summaries (already in id order) into a report.
+fn aggregate(users: Vec<UserSummary>) -> ServeReport {
+    let mut fleet_digest = FNV_OFFSET;
+    let (mut bursts, mut jobs, mut faulted, mut degraded) = (0, 0, 0, 0);
+    for u in &users {
+        fleet_digest = fnv_fold(fnv_fold(fleet_digest, u.id as u64), u.digest);
+        bursts += u.bursts;
+        jobs += u.jobs;
+        faulted += u.faulted_bursts;
+        degraded += u.degraded_bursts;
+    }
+    ServeReport {
+        users,
+        total_bursts: bursts,
+        total_jobs: jobs,
+        total_faulted_bursts: faulted,
+        total_degraded_bursts: degraded,
+        fleet_digest,
+    }
+}
+
+/// Serve the whole fleet across a persistent [`WorkerPool`], all
+/// sessions sharing `cache`. Summaries come back in user-id order, so
+/// the report is byte-identical for any worker count — including a
+/// serial [`run_user`] loop (the equivalence tests pin this).
+pub fn serve_fleet(
+    pool: &WorkerPool,
+    cache: &Arc<PlanCache>,
+    specs: &[UserSpec],
+    config: &ServeConfig,
+) -> Result<ServeReport, PlanError> {
+    let shared: Arc<Vec<UserSpec>> = Arc::new(specs.to_vec());
+    let cache = Arc::clone(cache);
+    let config = *config;
+    let results = pool.run_indexed(shared.len(), move |i| run_user(&cache, &shared[i], &config));
+    let mut users = Vec::with_capacity(results.len());
+    for r in results {
+        users.push(r?);
+    }
+    Ok(aggregate(users))
+}
+
+/// Serve the fleet serially on the calling thread — the reference the
+/// pooled path is compared against.
+pub fn serve_fleet_serial(
+    cache: &PlanCache,
+    specs: &[UserSpec],
+    config: &ServeConfig,
+) -> Result<ServeReport, PlanError> {
+    let mut users = Vec::with_capacity(specs.len());
+    for spec in specs {
+        users.push(run_user(cache, spec, config)?);
+    }
+    Ok(aggregate(users))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_profiles() -> Vec<RateProfile> {
+        vec![
+            RateProfile::from_parts(
+                "alpha",
+                vec![0.0, 4.0, 7.0, 20.0],
+                vec![120_000, 60_000, 20_000, 0],
+                2.0,
+                None,
+            )
+            .unwrap(),
+            RateProfile::from_parts(
+                "beta",
+                vec![0.0, 2.0, 9.0, 11.0, 15.0],
+                vec![200_000, 90_000, 40_000, 10_000, 0],
+                1.0,
+                None,
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            bursts_per_user: 40,
+            fault_every: 7,
+            degrade_prob: 0.15,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_skips_non_monotone() {
+        let mut profiles = test_profiles();
+        profiles.push(
+            RateProfile::from_parts(
+                "bumpy",
+                vec![0.0, 4.0, 7.0, 20.0],
+                vec![50_000, 10_000, 20_000, 0],
+                2.0,
+                None,
+            )
+            .unwrap(),
+        );
+        let config = test_config();
+        let a = fleet(&profiles, 10, &config);
+        let b = fleet(&profiles, 10, &config);
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.n_jobs, y.n_jobs);
+            assert_ne!(x.profile.name(), "bumpy", "non-monotone profile skipped");
+        }
+    }
+
+    #[test]
+    fn report_is_invariant_across_worker_counts_and_shard_layouts() {
+        let config = test_config();
+        let specs = fleet(&test_profiles(), 12, &config);
+
+        let serial_cache = PlanCache::with_shards(1);
+        let serial = serve_fleet_serial(&serial_cache, &specs, &config).unwrap();
+
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let cache = Arc::new(PlanCache::new());
+            let pooled = serve_fleet(&pool, &cache, &specs, &config).unwrap();
+            assert_eq!(serial, pooled, "workers={workers}");
+        }
+        // Coverage: the scenario actually exercises faults and the
+        // ladder, so digest equality is meaningful.
+        assert!(serial.total_faulted_bursts > 0);
+        assert!(serial.total_degraded_bursts > 0);
+        assert_eq!(serial.total_bursts, 12 * 40);
+    }
+
+    #[test]
+    fn fault_free_burst_matches_the_kernel_makespan() {
+        let config = ServeConfig {
+            bursts_per_user: 25,
+            degrade_prob: 0.0,
+            fault_every: 0,
+            ..ServeConfig::default()
+        };
+        let specs = fleet(&test_profiles(), 2, &config);
+        let cache = PlanCache::new();
+        for spec in &specs {
+            let mut session = UserSession::start(&cache, spec, &config).unwrap();
+            for _ in 0..config.bursts_per_user {
+                let out = session.admit_burst();
+                let kernel =
+                    spec.profile
+                        .mix_makespan(spec.n_jobs, out.mix, out.bandwidth_mbps);
+                assert!(
+                    (out.makespan_ms - kernel).abs() <= 1e-9 * kernel.max(1.0),
+                    "DES {} vs kernel {kernel}",
+                    out.makespan_ms
+                );
+                assert_eq!(out.level, LadderLevel::Normal);
+                assert!(!out.faulted);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_histories() {
+        let config = test_config();
+        let cache = PlanCache::new();
+        let specs = fleet(&test_profiles(), 2, &config);
+        let mut other = specs[0].clone();
+        other.seed ^= 0xDEAD_BEEF;
+        let a = run_user(&cache, &specs[0], &config).unwrap();
+        let b = run_user(&cache, &other, &config).unwrap();
+        assert_ne!(a.digest, b.digest, "digest must track the trace seed");
+    }
+
+    #[test]
+    fn serve_counters_accumulate() {
+        mcdnn_obs::set_enabled(true);
+        let config = ServeConfig {
+            bursts_per_user: 10,
+            fault_every: 5,
+            ..ServeConfig::default()
+        };
+        let specs = fleet(&test_profiles(), 3, &config);
+        let cache = PlanCache::new();
+        let bursts0 = mcdnn_obs::counter_value("serve.bursts");
+        let users0 = mcdnn_obs::counter_value("serve.users");
+        let faulted0 = mcdnn_obs::counter_value("serve.faulted_bursts");
+        for spec in &specs {
+            run_user(&cache, spec, &config).unwrap();
+        }
+        assert_eq!(mcdnn_obs::counter_value("serve.bursts") - bursts0, 30);
+        assert_eq!(mcdnn_obs::counter_value("serve.users") - users0, 3);
+        assert_eq!(
+            mcdnn_obs::counter_value("serve.faulted_bursts") - faulted0,
+            6,
+            "every 5th of 10 bursts × 3 users"
+        );
+    }
+}

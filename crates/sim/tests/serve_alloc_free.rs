@@ -1,0 +1,97 @@
+//! Proof of the steady-state serving contract: a warm
+//! [`mcdnn_sim::UserSession`] admits fault-free bursts with **zero
+//! heap allocations**, measured on a worker thread (the pool's
+//! steady-state shape — the main thread blocks in `join`, so the
+//! counting allocator sees only the session's own work).
+//!
+//! The measured window covers the full admission path: bandwidth walk,
+//! degradation roll, ladder decision, shared-cache-backed frontier
+//! lookup, in-place job refill and a warm `DesArena` run. Faulted
+//! bursts are excluded (`fault_every: 0`) — `FaultPlan` and the link
+//! timeline are built per run, as `DesArena::simulate_faulted`
+//! documents.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcdnn_partition::{PlanCache, RateProfile};
+use mcdnn_sim::{fleet, ServeConfig, UserSession};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter has no effect on
+// allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_session_admits_bursts_without_allocating() {
+    let profiles = vec![
+        RateProfile::from_parts(
+            "serve-alloc",
+            vec![0.0, 4.0, 7.0, 20.0],
+            vec![120_000, 60_000, 20_000, 0],
+            2.0,
+            None,
+        )
+        .unwrap(),
+        RateProfile::from_parts(
+            "serve-alloc-2",
+            vec![0.0, 2.0, 9.0, 11.0, 15.0],
+            vec![200_000, 90_000, 40_000, 10_000, 0],
+            1.0,
+            None,
+        )
+        .unwrap(),
+    ];
+    let config = ServeConfig {
+        bursts_per_user: 0, // sessions driven by hand below
+        degrade_prob: 0.2,  // the ladder path must be alloc-free too
+        fault_every: 0,
+        ..ServeConfig::default()
+    };
+    let specs = fleet(&profiles, 2, &config);
+
+    let worker = std::thread::spawn(move || {
+        let cache = PlanCache::new();
+        let mut total = 0u64;
+        for spec in &specs {
+            // Warm-up with obs enabled: compiles the frontier + ladder,
+            // grows the arena, registers every counter name and the
+            // thread-local cache memo.
+            mcdnn_obs::set_enabled(true);
+            let mut session = UserSession::start(&cache, spec, &config).unwrap();
+            for _ in 0..32 {
+                session.admit_burst();
+            }
+            mcdnn_obs::set_enabled(false);
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            for _ in 0..200 {
+                session.admit_burst();
+            }
+            total += ALLOCATIONS.load(Ordering::Relaxed) - before;
+            mcdnn_obs::set_enabled(true);
+        }
+        total
+    });
+    let allocs = worker.join().expect("worker thread");
+    assert_eq!(allocs, 0, "warm admit_burst must not allocate");
+}
