@@ -1,7 +1,7 @@
 //! Planner hot-path micro-benchmark (no external harness).
 //!
-//! Times the kernel-based planners (`mcdnn_partition::{jps_plan,
-//! jps_best_mix_plan}`, O(1) makespan per candidate) against the
+//! Times the kernel-based planners (`Strategy::{Jps, JpsBestMix}`,
+//! O(1) makespan per candidate) against the
 //! pre-refactor reference implementations
 //! (`mcdnn_partition::reference`, full plan materialization per
 //! candidate) on synthetic monotone profiles, checks both paths return
@@ -27,28 +27,22 @@ use mcdnn_profile::CostProfile;
 const BUDGET: Duration = Duration::from_millis(150);
 const MAX_REPS: u32 = 2_000;
 
-// NOTE: this bench times the deprecated free functions on purpose —
-// they are the implementations `Strategy::plan` dispatches to, so the
-// `kernel` column measures the kernel itself while `strategy_ns`
-// measures the public enum dispatch on top of it. The
-// `#[allow(deprecated)]` is scoped to these four wrappers so that any
-// *new* use of the deprecated API elsewhere in the bench still warns.
-#[allow(deprecated)]
+// The `kernel` column times `Strategy::plan` — since the free planner
+// functions were removed, the enum dispatch IS the kernel entry point —
+// while `strategy_ns` times `Strategy::try_plan`, i.e. the same kernel
+// plus the monotonicity/size validation the fallible surface pays.
 fn kernel_jps(profile: &CostProfile, n: usize) -> Plan {
-    mcdnn_partition::jps_plan(profile, n)
+    Strategy::Jps.plan(profile, n)
 }
 
-#[allow(deprecated)]
 fn kernel_jps_best_mix(profile: &CostProfile, n: usize) -> Plan {
-    mcdnn_partition::jps_best_mix_plan(profile, n)
+    Strategy::JpsBestMix.plan(profile, n)
 }
 
-#[allow(deprecated)]
 fn reference_jps(profile: &CostProfile, n: usize) -> Plan {
     reference::jps_plan(profile, n)
 }
 
-#[allow(deprecated)]
 fn reference_jps_best_mix(profile: &CostProfile, n: usize) -> Plan {
     reference::jps_best_mix_plan(profile, n)
 }
@@ -154,10 +148,11 @@ fn bench_planner(
 ) -> Row {
     let (slow_plan, reference_ns) = bench(|| reference(profile, n));
     let (fast_plan, kernel_ns) = bench(|| kernel(profile, n));
-    let (strategy_plan, strategy_ns) = bench(|| strategy.plan(profile, n));
+    let (strategy_plan, strategy_ns) =
+        bench(|| strategy.try_plan(profile, n).expect("monotone profile"));
     assert_eq!(
         strategy_plan, fast_plan,
-        "Strategy::plan diverged from the kernel it dispatches to"
+        "Strategy::try_plan diverged from Strategy::plan"
     );
     // Count kernel evaluations with the registry on for one call only,
     // outside the timed loops.

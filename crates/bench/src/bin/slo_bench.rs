@@ -1,0 +1,199 @@
+//! SLO admission-control benchmark: deadline hit-rate of the
+//! EDF + degradation-ladder scheduler against the FIFO baseline on the
+//! same seeded tenant fleet, driven to 2x offered uplink load. Writes
+//! `BENCH_slo.json` at the repo root.
+//!
+//! What it measures:
+//!
+//! 1. **Headline comparison at 2x overload** — both queue disciplines
+//!    over an identical request stream: deadline hit-rate, shed/degrade
+//!    accounting and exact latency percentiles. EDF with the ladder
+//!    must beat FIFO's hit-rate (asserted as `hit_rate_improved`) and
+//!    its p99 admitted latency (`p99_improved`) — FIFO queues
+//!    unboundedly, so under overload its tail grows without bound
+//!    while EDF sheds what cannot fit and degrades what barely can.
+//! 2. **Pooled/serial equivalence** — the pooled run (8-worker
+//!    [`WorkerPool`], sharded [`PlanCache`]) must be **bit-identical**
+//!    to the single-lock serial reference for both policies
+//!    (`pooled_bit_identical`): virtual time makes the scheduler
+//!    deterministic at any thread count.
+//! 3. **Overload sweep** — hit rates for both policies from an
+//!    underloaded fleet (0.5x) to heavy saturation (4x), showing where
+//!    admission control starts paying for itself.
+//!
+//! Every boolean flag in the JSON is asserted `true`, so a `false`
+//! anywhere fails the run (CI also greps the JSON for `: false`).
+//!
+//! ```text
+//! cargo run -p mcdnn-bench --release --bin slo_bench [-- --quick]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mcdnn_bench::banner;
+use mcdnn_bench::workload::{monotone_zoo_rate_profiles, SETUP_MS};
+use mcdnn_partition::PlanCache;
+use mcdnn_runtime::WorkerPool;
+use mcdnn_sim::{serve_slo, serve_slo_serial, slo_fleet, SloConfig, SloPolicy, SloReport};
+
+const POOL_WORKERS: usize = 8;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (tenants, requests) = if quick { (8, 80) } else { (24, 400) };
+
+    banner(
+        "SLO admission-control benchmark",
+        "EDF + degradation ladder beats the FIFO deadline hit-rate under 2x overload",
+    );
+
+    let profiles = monotone_zoo_rate_profiles(SETUP_MS);
+    let config = SloConfig {
+        requests_per_tenant: requests,
+        ..SloConfig::default()
+    };
+    let fleet = slo_fleet(&profiles, tenants, &config);
+    println!(
+        "fleet: {tenants} tenants x {requests} requests over {} zoo models, \
+         {:.1}x offered uplink load",
+        profiles.len(),
+        config.overload,
+    );
+
+    // 1 + 2. Headline comparison, pooled against the serial reference.
+    let pool = WorkerPool::new(POOL_WORKERS);
+    let cache = Arc::new(PlanCache::new());
+    let serial_cache = PlanCache::with_shards(1);
+    let started = Instant::now();
+    let fifo = serve_slo(&pool, &cache, &fleet, &config, SloPolicy::Fifo).expect("fifo serves");
+    let edf =
+        serve_slo(&pool, &cache, &fleet, &config, SloPolicy::EdfDegrade).expect("edf serves");
+    let pool_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let fifo_serial =
+        serve_slo_serial(&serial_cache, &fleet, &config, SloPolicy::Fifo).expect("fifo serves");
+    let edf_serial = serve_slo_serial(&serial_cache, &fleet, &config, SloPolicy::EdfDegrade)
+        .expect("edf serves");
+    let pooled_bit_identical = fifo == fifo_serial && edf == edf_serial;
+    let hit_rate_improved = edf.hit_rate > fifo.hit_rate;
+    let p99_improved = edf.p99_latency_ms < fifo.p99_latency_ms;
+    let gain_pts = (edf.hit_rate - fifo.hit_rate) * 100.0;
+
+    for r in [&fifo, &edf] {
+        println!(
+            "  {}: hit rate {:.1}% ({}/{}), shed {} (queue {} / infeasible {}), \
+             degraded {}, p50/p95/p99 {:.1}/{:.1}/{:.1} ms",
+            r.policy,
+            r.hit_rate * 100.0,
+            r.deadline_hits,
+            r.total_requests,
+            r.shed_queue_full + r.shed_infeasible,
+            r.shed_queue_full,
+            r.shed_infeasible,
+            r.degraded,
+            r.p50_latency_ms,
+            r.p95_latency_ms,
+            r.p99_latency_ms,
+        );
+    }
+    println!(
+        "edf-degrade vs fifo: {gain_pts:+.1} pts hit rate, p99 {:.1} vs {:.1} ms; \
+         pooled ({POOL_WORKERS} workers, {pool_wall_ms:.1} ms wall) bit-identical to serial: {}",
+        edf.p99_latency_ms,
+        fifo.p99_latency_ms,
+        yn(pooled_bit_identical),
+    );
+
+    // 3. Overload sweep on the same fleet (arrival gaps rescale with
+    // the offered load; the per-tenant streams stay seeded).
+    let mut sweep = Vec::new();
+    for overload in [0.5, 1.0, 2.0, 4.0] {
+        let c = SloConfig {
+            overload,
+            ..config.clone()
+        };
+        let f = serve_slo_serial(&serial_cache, &fleet, &c, SloPolicy::Fifo).expect("fifo serves");
+        let e = serve_slo_serial(&serial_cache, &fleet, &c, SloPolicy::EdfDegrade)
+            .expect("edf serves");
+        println!(
+            "  {overload:.1}x load: fifo {:.1}% vs edf-degrade {:.1}%",
+            f.hit_rate * 100.0,
+            e.hit_rate * 100.0,
+        );
+        sweep.push((overload, f, e));
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slo.json");
+    let sweep_rows: Vec<String> = sweep
+        .iter()
+        .map(|(overload, f, e)| {
+            format!(
+                "    {{\"overload\": {overload:.1}, \"fifo_hit_rate\": {:.4}, \
+                 \"edf_hit_rate\": {:.4}, \"edf_shed\": {}, \"edf_degraded\": {}}}",
+                f.hit_rate,
+                e.hit_rate,
+                e.shed_queue_full + e.shed_infeasible,
+                e.degraded,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo run -p mcdnn-bench --release --bin slo_bench{}\",\n  \
+         \"tenants\": {tenants},\n  \"requests_per_tenant\": {requests},\n  \
+         \"distinct_models\": {},\n  \"overload\": {:.1},\n  \
+         \"fifo\": {},\n  \"edf_degrade\": {},\n  \
+         \"hit_rate_improved\": {hit_rate_improved},\n  \
+         \"hit_rate_gain_pts\": {gain_pts:.1},\n  \
+         \"p99_improved\": {p99_improved},\n  \
+         \"pool_workers\": {POOL_WORKERS},\n  \"pool_wall_ms\": {pool_wall_ms:.1},\n  \
+         \"pooled_bit_identical\": {pooled_bit_identical},\n  \
+         \"overload_sweep\": [\n{}\n  ]\n}}\n",
+        if quick { " -- --quick" } else { "" },
+        profiles.len(),
+        config.overload,
+        policy_json(&fifo),
+        policy_json(&edf),
+        sweep_rows.join(",\n"),
+    );
+    std::fs::write(path, json).expect("write json");
+    println!("wrote {path}");
+
+    assert!(pooled_bit_identical, "pooled report diverged from serial");
+    assert!(
+        hit_rate_improved,
+        "edf-degrade hit rate {:.4} did not beat fifo {:.4}",
+        edf.hit_rate, fifo.hit_rate
+    );
+    assert!(
+        p99_improved,
+        "edf-degrade p99 {:.1} ms did not beat fifo {:.1} ms",
+        edf.p99_latency_ms, fifo.p99_latency_ms
+    );
+}
+
+fn policy_json(r: &SloReport) -> String {
+    format!(
+        "{{\"hit_rate\": {:.4}, \"total_requests\": {}, \"admitted\": {}, \
+         \"shed_queue_full\": {}, \"shed_infeasible\": {}, \"degraded\": {}, \
+         \"p50_latency_ms\": {:.1}, \"p95_latency_ms\": {:.1}, \"p99_latency_ms\": {:.1}, \
+         \"digest\": \"{:#018x}\"}}",
+        r.hit_rate,
+        r.total_requests,
+        r.admitted,
+        r.shed_queue_full,
+        r.shed_infeasible,
+        r.degraded,
+        r.p50_latency_ms,
+        r.p95_latency_ms,
+        r.p99_latency_ms,
+        r.digest,
+    )
+}
+
+fn yn(flag: bool) -> &'static str {
+    if flag {
+        "yes"
+    } else {
+        "NO"
+    }
+}

@@ -36,6 +36,10 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// Flags that stand alone — present or absent, never followed by a
+/// value. Everything else keeps the strict `--key value` grammar.
+const BOOL_FLAGS: &[&str] = &["slo"];
+
 /// Parsed flag set: `--key value` pairs after the subcommand.
 struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
@@ -49,6 +53,10 @@ impl<'a> Flags<'a> {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(err(format!("unexpected argument '{a}' (flags are --key value)")));
             };
+            if BOOL_FLAGS.contains(&key) {
+                pairs.push((key, "true"));
+                continue;
+            }
             let Some(value) = it.next() else {
                 return Err(err(format!("flag --{key} is missing its value")));
             };
@@ -59,6 +67,10 @@ impl<'a> Flags<'a> {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
     fn require(&self, key: &str) -> Result<&str, CliError> {
@@ -153,6 +165,8 @@ USAGE:
                 [--fps <rate>] [--rho <frac>] [--seed <s>] [--setup-ms <ms>]
   mcdnn serve   [--users <n>] [--bursts <k>] [--from <Mbps>] [--to <Mbps>]
                 [--fault-every <k>] [--seed <s>] [--setup-ms <ms>]
+  mcdnn serve --slo [--users <n>] [--bursts <k>] [--overload <x>]
+                [--queue <n>] [--from <Mbps>] [--to <Mbps>] [--seed <s>]
   mcdnn dot     --model <name>
 
 `plan` also accepts --svg <path> (SVG Gantt chart), --trace <path>
@@ -175,6 +189,16 @@ persistent worker pool and the shared sharded plan cache. Output is
 deterministic in --seed (no wall times), whatever MCDNN_THREADS says.
 It accepts --emit-metrics <path> (JSON snapshot including serve.* /
 frontier.shard.* / runtime.pool.* counters).
+
+`serve --slo` attaches an SLO class (deadline + priority) to every
+request and runs the same seeded tenant fleet under both front-end
+queue disciplines — fifo (unbounded arrival-order baseline) and
+edf-degrade (earliest-deadline-first with weighted fair queueing, a
+bounded queue, and degradation-ladder fallback before shedding) — then
+reports deadline hit-rates side by side. Virtual time keeps the output
+deterministic in --seed at any MCDNN_THREADS. --overload scales the
+offered uplink load (2 = twice link capacity); --emit-metrics adds the
+sched.* queue/slack/shed counters to the snapshot.
 ";
 
 /// Run the CLI on the given arguments (excluding the program name),
@@ -652,7 +676,28 @@ fn cmd_chaos(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Rate profiles for every zoo model the JPS theory admits on the
+/// reference platform — the pool both serve modes draw tenants from.
+fn zoo_rate_profiles(setup: f64) -> Vec<mcdnn_partition::RateProfile> {
+    Model::ALL
+        .iter()
+        .filter_map(|&m| m.line().ok())
+        .map(|line| {
+            mcdnn_partition::RateProfile::evaluate(
+                &line,
+                &DeviceModel::raspberry_pi4(),
+                &CloudModel::Negligible,
+                setup,
+            )
+        })
+        .filter(|p| p.check_monotone().is_ok())
+        .collect()
+}
+
 fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    if flags.has("slo") {
+        return cmd_serve_slo(flags);
+    }
     let users = flags.parse_usize_or("users", 12)?;
     let setup = flags.parse_f64_or("setup-ms", 10.0)?;
     let config = mcdnn_sim::ServeConfig {
@@ -676,19 +721,7 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     }
     // The fleet draws users round-robin from every zoo model whose rate
     // profile the JPS theory admits on the reference platform.
-    let profiles: Vec<mcdnn_partition::RateProfile> = Model::ALL
-        .iter()
-        .filter_map(|&m| m.line().ok())
-        .map(|line| {
-            mcdnn_partition::RateProfile::evaluate(
-                &line,
-                &DeviceModel::raspberry_pi4(),
-                &CloudModel::Negligible,
-                setup,
-            )
-        })
-        .filter(|p| p.check_monotone().is_ok())
-        .collect();
+    let profiles = zoo_rate_profiles(setup);
     let specs = mcdnn_sim::fleet(&profiles, users, &config);
     let cache = std::sync::Arc::new(mcdnn_partition::PlanCache::new());
     let pool =
@@ -739,6 +772,122 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         cache.len(),
         cache.shards(),
         report.fleet_digest,
+    );
+    if let Some(path) = emit_metrics {
+        std::fs::write(path, mcdnn_obs::snapshot().to_json())
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "wrote metrics snapshot to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
+    let tenants_n = flags.parse_usize_or("users", 8)?;
+    let setup = flags.parse_f64_or("setup-ms", 10.0)?;
+    let config = mcdnn_sim::SloConfig {
+        requests_per_tenant: flags.parse_usize_or("bursts", 40)?,
+        lo_mbps: flags.parse_f64_or("from", 1.0)?,
+        hi_mbps: flags.parse_f64_or("to", 100.0)?,
+        overload: flags.parse_f64_or("overload", 2.0)?,
+        max_queue: flags.parse_usize_or("queue", 64)?,
+        seed: flags.parse_u64_or("seed", 0x510_5EED)?,
+        ..mcdnn_sim::SloConfig::default()
+    };
+    if tenants_n == 0 {
+        return Err(err("--users must be positive"));
+    }
+    config.validate().map_err(|e| err(e.to_string()))?;
+    let emit_metrics = flags.get("emit-metrics");
+    if emit_metrics.is_some() {
+        mcdnn_obs::set_enabled(true);
+        mcdnn_obs::reset();
+    }
+    let profiles = zoo_rate_profiles(setup);
+    let tenants = mcdnn_sim::slo_fleet(&profiles, tenants_n, &config);
+    // Explicit thread count still honours MCDNN_THREADS: worker_threads
+    // is the env/hardware resolution the builder would do itself, only
+    // capped at the fleet size. Output is byte-identical either way.
+    let engine = EngineConfig::new()
+        .threads(mcdnn_runtime::worker_threads().min(tenants_n).max(1))
+        .build();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "slo fleet: {tenants_n} tenants x {} requests over {} zoo models, \
+         {:.0}-{:.0} Mbps walks, {:.1}x offered uplink load",
+        config.requests_per_tenant,
+        profiles.len(),
+        config.lo_mbps,
+        config.hi_mbps,
+        config.overload,
+    );
+    let mut reports = Vec::new();
+    for policy in [mcdnn_sim::SloPolicy::Fifo, mcdnn_sim::SloPolicy::EdfDegrade] {
+        let r = engine
+            .serve_slo(&tenants, &config, policy)
+            .map_err(|e| err(format!("slo serving failed: {e}")))?;
+        let _ = writeln!(
+            out,
+            "\npolicy {policy}: hit rate {:.1}% ({}/{}), admitted {}, \
+             shed {} (queue {} / infeasible {}), degraded {}",
+            r.hit_rate * 100.0,
+            r.deadline_hits,
+            r.total_requests,
+            r.admitted,
+            r.shed_queue_full + r.shed_infeasible,
+            r.shed_queue_full,
+            r.shed_infeasible,
+            r.degraded,
+        );
+        let _ = writeln!(
+            out,
+            "latency p50/p95/p99: {:.1}/{:.1}/{:.1} ms; digest={:016x}",
+            r.p50_latency_ms, r.p95_latency_ms, r.p99_latency_ms, r.digest,
+        );
+        let _ = writeln!(
+            out,
+            "| tenant | model | weight | requests | admitted | shed | degraded | hits | hit % | mean ms | digest |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
+        for t in &r.tenants {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.0} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:016x} |",
+                t.id,
+                t.model,
+                t.weight,
+                t.requests,
+                t.admitted,
+                t.shed,
+                t.degraded,
+                t.hits,
+                t.hit_rate * 100.0,
+                t.mean_latency_ms,
+                t.digest,
+            );
+        }
+        let _ = writeln!(out, "| class | requests | hits | hit % |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for c in &r.classes {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.1} |",
+                c.name,
+                c.requests,
+                c.hits,
+                c.hit_rate * 100.0,
+            );
+        }
+        reports.push(r);
+    }
+    let (fifo, edf) = (&reports[0], &reports[1]);
+    let _ = writeln!(
+        out,
+        "\nedf-degrade vs fifo: deadline hit rate {:.1}% vs {:.1}% ({:+.1} pts)",
+        edf.hit_rate * 100.0,
+        fifo.hit_rate * 100.0,
+        (edf.hit_rate - fifo.hit_rate) * 100.0,
     );
     if let Some(path) = emit_metrics {
         std::fs::write(path, mcdnn_obs::snapshot().to_json())
@@ -1172,6 +1321,72 @@ mod tests {
         assert!(get("serve.faulted_bursts") >= 1.0, "{snap}");
         assert!(get("frontier.shard.misses") >= 1.0, "{snap}");
         assert!(get("runtime.pool.tasks") >= 5.0, "{snap}");
+    }
+
+    #[test]
+    fn serve_slo_compares_policies_deterministically() {
+        let args = ["serve", "--slo", "--users", "4", "--bursts", "16"];
+        let out = run_str(&args).unwrap();
+        assert!(out.contains("slo fleet: 4 tenants x 16 requests"), "{out}");
+        assert!(out.contains("policy fifo:"), "{out}");
+        assert!(out.contains("policy edf-degrade:"), "{out}");
+        assert!(out.contains("| tenant | model | weight |"), "{out}");
+        assert!(out.contains("| interactive |"), "{out}");
+        assert!(out.contains("edf-degrade vs fifo: deadline hit rate"), "{out}");
+        // Virtual time only — byte-identical on re-run, sensitive to seed.
+        assert_eq!(out, run_str(&args).unwrap(), "serve --slo must be deterministic");
+        let other = run_str(&["serve", "--slo", "--users", "4", "--bursts", "16", "--seed", "9"])
+            .unwrap();
+        assert_ne!(out, other, "seed must matter");
+        // The boolean flag parses anywhere in the flag list.
+        let tail = run_str(&["serve", "--users", "4", "--bursts", "16", "--slo"]).unwrap();
+        assert_eq!(out, tail, "--slo position must not matter");
+    }
+
+    #[test]
+    fn serve_slo_emit_metrics_exports_sched_counters() {
+        let _gate = METRICS_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("mcdnn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("slo.metrics.json");
+        let out = run_str(&[
+            "serve", "--slo", "--users", "4", "--bursts", "20", "--overload", "3",
+            "--emit-metrics", metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("metrics snapshot"));
+        let snap = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = mcdnn_obs::json::parse(&snap).expect("metrics are valid JSON");
+        let counters = parsed.get("counters").expect("counters object");
+        let get = |key: &str| counters.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        assert_eq!(get("sched.requests"), 2.0 * 4.0 * 20.0, "{snap}");
+        assert!(get("sched.admitted") >= 1.0, "{snap}");
+        assert!(get("sched.deadline_hits") >= 1.0, "{snap}");
+        let hists = parsed.get("histograms").expect("histograms object");
+        for h in ["sched.queue_depth", "sched.slack_ms", "sched.latency_ms"] {
+            assert!(
+                hists.get(h).and_then(|v| v.get("count")).and_then(|c| c.as_f64())
+                    .unwrap_or(0.0)
+                    >= 1.0,
+                "{h} populated: {snap}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_slo_rejects_bad_flags() {
+        assert!(run_str(&["serve", "--slo", "--overload", "-1"])
+            .unwrap_err()
+            .0
+            .contains("overload"));
+        assert!(run_str(&["serve", "--slo", "--queue", "0"])
+            .unwrap_err()
+            .0
+            .contains("max_queue"));
+        assert!(run_str(&["serve", "--slo", "--users", "0"])
+            .unwrap_err()
+            .0
+            .contains("--users"));
     }
 
     #[test]

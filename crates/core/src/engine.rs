@@ -1,0 +1,298 @@
+//! The typed front door of the serving stack.
+//!
+//! Before this module, runtime knobs were an env-var scatter: thread
+//! count came from `MCDNN_THREADS`, observability from `MCDNN_OBS`,
+//! and every caller wired its own `WorkerPool` + [`PlanCache`] pair.
+//! [`EngineConfig`] replaces that with an explicit builder —
+//! environment variables remain the *defaults layer* (an unset knob
+//! falls back to exactly the old behaviour), but programs state their
+//! configuration in code and get one [`Engine`] owning the pool and
+//! the shared plan cache for planning, serving, SLO scheduling and
+//! chaos drills.
+//!
+//! ```
+//! use mcdnn::{Engine, EngineConfig};
+//! use mcdnn::prelude::*;
+//!
+//! let engine: Engine = EngineConfig::new().threads(2).build();
+//! let scenario = Scenario::paper_default(Model::AlexNet, NetworkModel::wifi());
+//! let plan = engine.try_plan(&scenario, Strategy::Jps, 10)?;
+//! assert_eq!(plan.cuts.len(), 10);
+//! # Ok::<(), mcdnn::Error>(())
+//! ```
+
+use std::sync::Arc;
+
+use mcdnn_partition::{PlanCache, Plan, RateFrontier, RateProfile, Strategy};
+use mcdnn_runtime::{worker_threads, WorkerPool};
+use mcdnn_sim::{
+    serve_fleet, serve_slo, ServeConfig, ServeReport, SloConfig, SloPolicy, SloReport, SloTenant,
+    UserSpec,
+};
+
+use crate::chaos::{chaos_report, ChaosConfig, ChaosReport};
+use crate::error::Error;
+use crate::scenario::Scenario;
+
+/// Builder for [`Engine`]: every knob is optional, and an unset knob
+/// falls back to the environment-variable default the stack has always
+/// honoured (`MCDNN_THREADS`, `MCDNN_OBS`), then to the hardware.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    threads: Option<usize>,
+    obs: Option<bool>,
+    cache_shards: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Start from all-defaults (equivalent to the env-var behaviour).
+    pub fn new() -> Self {
+        EngineConfig::default()
+    }
+
+    /// Worker-thread count for the engine's pool. Unset: the
+    /// `MCDNN_THREADS` env var, else available parallelism. A value of
+    /// 0 is clamped to 1.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Turn the `mcdnn-obs` registry on or off for the whole process.
+    /// Unset: leave the registry as-is (its own `MCDNN_OBS` default).
+    pub fn obs(mut self, on: bool) -> Self {
+        self.obs = Some(on);
+        self
+    }
+
+    /// Shard count of the engine's [`PlanCache`]. Unset: the cache's
+    /// standard 16-way layout. A value of 0 is clamped to 1.
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.cache_shards = Some(n);
+        self
+    }
+
+    /// Resolve every knob (explicit → env → hardware) and build the
+    /// engine.
+    pub fn build(self) -> Engine {
+        if let Some(on) = self.obs {
+            mcdnn_obs::set_enabled(on);
+        }
+        let threads = self.threads.unwrap_or_else(worker_threads).max(1);
+        let cache = match self.cache_shards {
+            Some(n) => Arc::new(PlanCache::with_shards(n.max(1))),
+            None => Arc::new(PlanCache::new()),
+        };
+        Engine {
+            pool: WorkerPool::new(threads),
+            cache,
+            threads,
+        }
+    }
+}
+
+/// One front door for the stack: a persistent [`WorkerPool`] plus a
+/// shared [`PlanCache`], with typed entry points for planning, frontier
+/// compilation, multi-tenant serving, SLO scheduling and chaos drills.
+///
+/// Construction goes through [`EngineConfig`]; [`Engine::default`] is
+/// the all-defaults build (env vars, then hardware). Failures surface
+/// as the unified [`enum@Error`].
+pub struct Engine {
+    pool: WorkerPool,
+    cache: Arc<PlanCache>,
+    threads: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        EngineConfig::new().build()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads)
+            .field("cache_shards", &self.cache.shards())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Shorthand for [`EngineConfig::new`].
+    pub fn builder() -> EngineConfig {
+        EngineConfig::new()
+    }
+
+    /// Resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's persistent pool (for callers that fan out their
+    /// own work alongside the typed entry points).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The engine's shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Plan `n` jobs for a scenario — [`Scenario::plan`] through the
+    /// facade (panicking surface; see [`Engine::try_plan`]).
+    pub fn plan(&self, scenario: &Scenario, strategy: Strategy, n: usize) -> Plan {
+        scenario.plan(strategy, n)
+    }
+
+    /// Plan `n` jobs for a scenario, reporting failures as the unified
+    /// [`enum@Error`].
+    pub fn try_plan(
+        &self,
+        scenario: &Scenario,
+        strategy: Strategy,
+        n: usize,
+    ) -> Result<Plan, Error> {
+        Ok(scenario.try_plan(strategy, n)?)
+    }
+
+    /// Fetch (compiling on miss) the bandwidth frontier for a profile
+    /// from the engine's shared cache.
+    pub fn frontier(
+        &self,
+        profile: &RateProfile,
+        strategy: Strategy,
+        n_jobs: usize,
+        lo_mbps: f64,
+        hi_mbps: f64,
+    ) -> Result<Arc<RateFrontier>, Error> {
+        Ok(self
+            .cache
+            .frontier(profile, strategy, n_jobs, lo_mbps, hi_mbps)?)
+    }
+
+    /// Serve a multi-tenant fleet across the engine's pool
+    /// ([`mcdnn_sim::serve_fleet`] with the engine's cache).
+    pub fn serve(&self, specs: &[UserSpec], config: &ServeConfig) -> Result<ServeReport, Error> {
+        Ok(serve_fleet(&self.pool, &self.cache, specs, config)?)
+    }
+
+    /// Run the SLO admission-control + deadline scheduler over a tenant
+    /// fleet ([`mcdnn_sim::serve_slo`] with the engine's pool and
+    /// cache). Byte-equal to the serial path at any thread count.
+    pub fn serve_slo(
+        &self,
+        tenants: &[SloTenant],
+        config: &SloConfig,
+        policy: SloPolicy,
+    ) -> Result<SloReport, Error> {
+        Ok(serve_slo(&self.pool, &self.cache, tenants, config, policy)?)
+    }
+
+    /// Run a chaos drill for a scenario ([`chaos_report`]).
+    pub fn chaos(&self, scenario: &Scenario, config: &ChaosConfig) -> ChaosReport {
+        chaos_report(scenario, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdnn_models::Model;
+    use mcdnn_profile::NetworkModel;
+    use mcdnn_sim::{fleet, serve_fleet_serial, serve_slo_serial, slo_fleet};
+
+    fn profiles() -> Vec<RateProfile> {
+        vec![
+            RateProfile::from_parts(
+                "alpha",
+                vec![0.0, 4.0, 7.0, 20.0],
+                vec![120_000, 60_000, 20_000, 0],
+                2.0,
+                None,
+            )
+            .unwrap(),
+            RateProfile::from_parts(
+                "beta",
+                vec![0.0, 2.0, 9.0, 11.0, 15.0],
+                vec![200_000, 90_000, 40_000, 10_000, 0],
+                1.0,
+                None,
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn explicit_knobs_win_over_env_defaults() {
+        let engine = EngineConfig::new().threads(3).cache_shards(4).build();
+        assert_eq!(engine.threads(), 3);
+        assert_eq!(engine.cache().shards(), 4);
+        // Degenerate values clamp instead of panicking.
+        let engine = EngineConfig::new().threads(0).cache_shards(0).build();
+        assert_eq!(engine.threads(), 1);
+        assert_eq!(engine.cache().shards(), 1);
+    }
+
+    #[test]
+    fn default_build_resolves_threads_positively() {
+        let engine = Engine::default();
+        assert!(engine.threads() >= 1);
+        let dbg = format!("{engine:?}");
+        assert!(dbg.contains("threads"));
+    }
+
+    #[test]
+    fn engine_plan_matches_scenario_plan() {
+        let engine = EngineConfig::new().threads(2).build();
+        let scenario = Scenario::paper_default(Model::AlexNet, NetworkModel::wifi());
+        let a = engine.try_plan(&scenario, Strategy::Jps, 8).unwrap();
+        assert_eq!(a, scenario.plan(Strategy::Jps, 8));
+        assert_eq!(engine.plan(&scenario, Strategy::Jps, 8), a);
+    }
+
+    #[test]
+    fn engine_serve_matches_serial_reference() {
+        let engine = EngineConfig::new().threads(4).build();
+        let config = ServeConfig {
+            bursts_per_user: 20,
+            ..ServeConfig::default()
+        };
+        let specs = fleet(&profiles(), 6, &config);
+        let pooled = engine.serve(&specs, &config).unwrap();
+        let serial = serve_fleet_serial(&PlanCache::with_shards(1), &specs, &config).unwrap();
+        assert_eq!(pooled, serial);
+    }
+
+    #[test]
+    fn engine_serve_slo_matches_serial_reference() {
+        let engine = EngineConfig::new().threads(4).build();
+        let config = SloConfig {
+            requests_per_tenant: 30,
+            ..SloConfig::default()
+        };
+        let tenants = slo_fleet(&profiles(), 6, &config);
+        for policy in [SloPolicy::Fifo, SloPolicy::EdfDegrade] {
+            let pooled = engine.serve_slo(&tenants, &config, policy).unwrap();
+            let serial =
+                serve_slo_serial(&PlanCache::with_shards(1), &tenants, &config, policy).unwrap();
+            assert_eq!(pooled, serial, "policy={policy}");
+        }
+    }
+
+    #[test]
+    fn engine_errors_are_unified() {
+        let engine = EngineConfig::new().threads(1).build();
+        let bad = SloConfig {
+            overload: -1.0,
+            ..SloConfig::default()
+        };
+        let tenants = slo_fleet(&profiles(), 2, &SloConfig::default());
+        match engine.serve_slo(&tenants, &bad, SloPolicy::Fifo) {
+            Err(Error::Admit(_)) => {}
+            other => panic!("expected Error::Admit, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The facade's unified error hierarchy.
+//!
+//! Each layer keeps its own precise error type — [`ProfileError`] for
+//! cost-profile construction, [`PlanError`] for planning and frontier
+//! compilation, [`AdmitError`] for SLO admission — and the facade folds
+//! them into one [`enum@Error`] so callers driving the whole stack
+//! through [`Engine`](crate::Engine) match on a single type. `From`
+//! impls make `?` flow across the layers; the enum is
+//! `#[non_exhaustive]` so new subsystems can add variants without
+//! breaking downstream matches.
+
+use mcdnn_partition::PlanError;
+use mcdnn_profile::ProfileError;
+use mcdnn_sim::AdmitError;
+
+/// Any failure the mcdnn stack can report, one level up from the
+/// per-crate error types.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Cost-profile construction failed ([`mcdnn_profile`]).
+    Profile(ProfileError),
+    /// Planning or frontier compilation failed ([`mcdnn_partition`]).
+    Plan(PlanError),
+    /// SLO admission or scheduling configuration failed
+    /// ([`mcdnn_sim::slo`]).
+    Admit(AdmitError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Profile(e) => write!(f, "profile error: {e}"),
+            Error::Plan(e) => write!(f, "plan error: {e}"),
+            Error::Admit(e) => write!(f, "admission error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Profile(e) => Some(e),
+            Error::Plan(e) => Some(e),
+            Error::Admit(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProfileError> for Error {
+    fn from(e: ProfileError) -> Self {
+        Error::Profile(e)
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<AdmitError> for Error {
+    /// Planning failures surfaced through the admission layer flatten
+    /// to [`Error::Plan`], so callers match one variant per root cause.
+    fn from(e: AdmitError) -> Self {
+        match e {
+            AdmitError::Plan(p) => Error::Plan(p),
+            other => Error::Admit(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_delegate() {
+        let e = Error::from(PlanError::NonMonotoneF { at: 2 });
+        assert!(e.to_string().contains("plan error"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = Error::from(ProfileError::Empty);
+        assert!(matches!(e, Error::Profile(_)));
+        assert!(e.to_string().contains("profile error"));
+    }
+
+    #[test]
+    fn admit_plan_failures_flatten() {
+        let nested = AdmitError::Plan(PlanError::NonMonotoneG { at: 1 });
+        assert_eq!(
+            Error::from(nested),
+            Error::Plan(PlanError::NonMonotoneG { at: 1 })
+        );
+        let direct = AdmitError::EmptyFleet;
+        assert!(matches!(Error::from(direct), Error::Admit(_)));
+    }
+
+    #[test]
+    fn question_mark_flows_across_layers() {
+        fn profile_layer() -> Result<(), ProfileError> {
+            Err(ProfileError::Empty)
+        }
+        fn stack() -> Result<(), Error> {
+            profile_layer()?;
+            Ok(())
+        }
+        assert!(matches!(stack(), Err(Error::Profile(ProfileError::Empty))));
+    }
+}

@@ -38,11 +38,15 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod engine;
+pub mod error;
 pub mod experiment;
 pub mod robust;
 pub mod scenario;
 
 pub use chaos::{chaos_report, ChaosConfig, ChaosReport};
+pub use engine::{Engine, EngineConfig};
+pub use error::Error;
 pub use robust::{robust_jps_plan, RobustPlan};
 pub use scenario::{Scenario, TimedPlan};
 
@@ -56,6 +60,8 @@ pub use mcdnn_sim as sim;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::chaos::{chaos_report, ChaosConfig, ChaosReport};
+    pub use crate::engine::{Engine, EngineConfig};
+    pub use crate::error::Error;
     pub use crate::experiment;
     pub use crate::scenario::{Scenario, TimedPlan};
     pub use mcdnn_flowshop::{johnson_order, makespan, FlowJob};

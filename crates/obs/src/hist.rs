@@ -100,6 +100,28 @@ impl Histogram {
         }
     }
 
+    /// Nearest-rank quantile estimate, ms: the upper bound of the
+    /// bucket holding the `ceil(q * count)`-th observation (`max_ms`
+    /// for ranks landing in the overflow bucket, 0 when empty). Bucket
+    /// bounds double, so the estimate is exact to within one octave —
+    /// good enough for dashboards; exact percentiles belong to the
+    /// report that recorded the raw values. `q` is clamped to `[0, 1]`.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 1.0 };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.counts[i];
+            if seen >= rank {
+                return bucket_upper_ms(i).min(self.max_ms());
+            }
+        }
+        self.max_ms()
+    }
+
     /// Count in finite bucket `i` (values `<= bucket_upper_ms(i)`).
     pub fn bucket_count(&self, i: usize) -> u64 {
         self.counts[i]
@@ -195,6 +217,28 @@ mod tests {
         assert_eq!(h.min_ms(), 0.0);
         assert_eq!(h.max_ms(), 0.0);
         assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(0.9); // bucket 10 (<= 1.024)
+        }
+        for _ in 0..10 {
+            h.observe(100.0); // bucket 17 (<= 131.072)
+        }
+        assert_eq!(h.quantile_ms(0.5), bucket_upper_ms(10));
+        assert_eq!(h.quantile_ms(0.9), bucket_upper_ms(10));
+        // p99 lands in the tail bucket; capped at max_ms.
+        assert_eq!(h.quantile_ms(0.99), 100.0);
+        assert_eq!(h.quantile_ms(1.0), 100.0);
+        assert_eq!(h.quantile_ms(0.0), bucket_upper_ms(10), "rank clamps to 1");
+        assert_eq!(Histogram::new().quantile_ms(0.5), 0.0);
+
+        let mut o = Histogram::new();
+        o.observe(1e9); // overflow only
+        assert_eq!(o.quantile_ms(0.5), 1e9, "overflow ranks report max_ms");
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Comparison strategies from the paper's §6.2: LO, CO, PO and the
 //! exact joint brute force (BF).
 //!
-//! The free functions here are deprecated: go through
-//! [`Strategy::plan`]/[`Strategy::try_plan`](crate::Strategy::try_plan)
-//! instead, which dispatch to the same implementations and (for
-//! `try_plan`) report infeasibility as a value rather than a panic.
+//! The implementations are crate-private: the public surface is
+//! [`Strategy::plan`]/[`Strategy::try_plan`](crate::Strategy::try_plan),
+//! which dispatch here and (for `try_plan`) report infeasibility as a
+//! value rather than a panic.
 
 use mcdnn_flowshop::kernels::johnson_blocks_makespan;
 use mcdnn_profile::CostProfile;
@@ -12,14 +12,12 @@ use mcdnn_profile::CostProfile;
 use crate::plan::{Plan, Strategy};
 
 /// LO: every job runs fully on the mobile device (cut `k`).
-#[deprecated(since = "0.1.0", note = "use Strategy::LocalOnly.plan(profile, n) instead")]
-pub fn local_only_plan(profile: &CostProfile, n: usize) -> Plan {
+pub(crate) fn local_only_plan(profile: &CostProfile, n: usize) -> Plan {
     Plan::from_cuts(Strategy::LocalOnly, profile, vec![profile.k(); n])
 }
 
 /// CO: every job uploads its raw input (cut `0`).
-#[deprecated(since = "0.1.0", note = "use Strategy::CloudOnly.plan(profile, n) instead")]
-pub fn cloud_only_plan(profile: &CostProfile, n: usize) -> Plan {
+pub(crate) fn cloud_only_plan(profile: &CostProfile, n: usize) -> Plan {
     Plan::from_cuts(Strategy::CloudOnly, profile, vec![0; n])
 }
 
@@ -28,8 +26,7 @@ pub fn cloud_only_plan(profile: &CostProfile, n: usize) -> Plan {
 /// `f(l) + g(l) + cloud(l)` and apply it to every job. Scheduling
 /// collaboration across jobs is ignored by construction (all jobs are
 /// identical, so every order is equivalent).
-#[deprecated(since = "0.1.0", note = "use Strategy::PartitionOnly.plan(profile, n) instead")]
-pub fn partition_only_plan(profile: &CostProfile, n: usize) -> Plan {
+pub(crate) fn partition_only_plan(profile: &CostProfile, n: usize) -> Plan {
     let best_cut = (0..=profile.k())
         .min_by(|&a, &b| {
             let la = profile.f(a) + profile.g(a) + profile.cloud(a);
@@ -56,12 +53,7 @@ pub fn partition_only_plan(profile: &CostProfile, n: usize) -> Plan {
 /// reports the same condition as a
 /// [`PlanError::TooManyCandidates`](crate::PlanError::TooManyCandidates)
 /// instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Strategy::BruteForce.try_plan(profile, n) instead (reports the candidate \
-            limit as a value, not a panic)"
-)]
-pub fn brute_force_plan(profile: &CostProfile, n: usize) -> Plan {
+pub(crate) fn brute_force_plan(profile: &CostProfile, n: usize) -> Plan {
     let _span = mcdnn_obs::span("planner", "brute_force_plan");
     let k = profile.k();
     let combos = brute_force_candidates(profile, n);
@@ -98,8 +90,8 @@ pub fn brute_force_plan(profile: &CostProfile, n: usize) -> Plan {
     Plan::from_cuts(Strategy::BruteForce, profile, cuts)
 }
 
-/// Enumeration cap for [`brute_force_plan`]: above this many multisets
-/// the exact search refuses to run.
+/// Enumeration cap for [`Strategy::BruteForce`]: above this many
+/// multisets the exact search refuses to run.
 pub const BF_CANDIDATE_LIMIT: u128 = 10_000_000;
 
 /// Number of cut multisets `C(n + k, k)` the brute force would
@@ -142,9 +134,6 @@ fn binomial(n: usize, k: usize) -> u128 {
 }
 
 #[cfg(test)]
-// The defining module's own tests keep exercising the deprecated entry
-// points directly — they are the implementation under test.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::jps::{jps_best_mix_plan, jps_plan};

@@ -1,12 +1,10 @@
 //! Typed planning errors for the fallible [`Strategy::try_plan`]
 //! surface.
 //!
-//! The panicking free functions ([`crate::jps_plan`],
-//! [`crate::brute_force_plan`], …) predate this module and stay as thin
-//! wrappers for scripts and tests; code that must report failures to a
-//! caller (CLI, services) goes through
-//! [`Strategy::try_plan`](crate::Strategy::try_plan) and matches on
-//! [`PlanError`].
+//! The panicking surface ([`Strategy::plan`]) stays for scripts and
+//! tests; code that must report failures to a caller (CLI, services)
+//! goes through [`Strategy::try_plan`](crate::Strategy::try_plan) and
+//! matches on [`PlanError`].
 
 use crate::plan::Strategy;
 

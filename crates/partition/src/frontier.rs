@@ -200,6 +200,41 @@ impl RateProfile {
         }
     }
 
+    /// Total on-device compute of `n` jobs under `mix`, ms — the
+    /// device-side service demand an admission controller budgets for
+    /// a burst (bandwidth-independent).
+    pub fn mix_mobile_ms(&self, n: usize, mix: CutMix) -> f64 {
+        match mix {
+            CutMix::Uniform { cut } => n as f64 * self.f_ms[cut],
+            CutMix::Mix {
+                prev,
+                star,
+                at_prev,
+            } => {
+                at_prev as f64 * self.f_ms[prev] + (n - at_prev) as f64 * self.f_ms[star]
+            }
+        }
+    }
+
+    /// Total uplink occupancy of `n` jobs under `mix` at bandwidth
+    /// `b`, ms — how long the burst holds a shared uplink, the quantity
+    /// a deadline scheduler serializes across tenants. Setup latency is
+    /// included per job, exactly as [`RateProfile::upload_ms_at`]
+    /// prices it.
+    pub fn mix_upload_ms(&self, n: usize, mix: CutMix, bandwidth_mbps: f64) -> f64 {
+        match mix {
+            CutMix::Uniform { cut } => n as f64 * self.upload_ms_at(cut, bandwidth_mbps),
+            CutMix::Mix {
+                prev,
+                star,
+                at_prev,
+            } => {
+                at_prev as f64 * self.upload_ms_at(prev, bandwidth_mbps)
+                    + (n - at_prev) as f64 * self.upload_ms_at(star, bandwidth_mbps)
+            }
+        }
+    }
+
     /// `Err` when the profile violates the clustered monotonicity the
     /// JPS theory assumes, for *some* bandwidth in `(0, ∞)`:
     ///
@@ -546,6 +581,21 @@ impl RateFrontier {
                 makespan_ms: self.profile.mix_makespan(self.n, mix, bandwidth_mbps),
             }
         }
+    }
+
+    /// Slack query: the optimal burst makespan at bandwidth `b`, ms —
+    /// [`RateFrontier::decide_at`] without materializing the mix.
+    /// Deadline schedulers call this to price a burst before admitting
+    /// it.
+    pub fn makespan_at(&self, bandwidth_mbps: f64) -> f64 {
+        self.decide_at(bandwidth_mbps).makespan_ms
+    }
+
+    /// True when the frontier's optimal burst at bandwidth `b` finishes
+    /// within `budget_ms` — the admission controller's feasibility
+    /// test for a request with that much slack left.
+    pub fn fits_slack(&self, bandwidth_mbps: f64, budget_ms: f64) -> bool {
+        self.makespan_at(bandwidth_mbps) <= budget_ms
     }
 
     /// The full materialized [`Plan`] at bandwidth `b` — identical to

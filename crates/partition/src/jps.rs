@@ -7,9 +7,10 @@
 //!    two adjacent types per the ratio (Theorem 5.3).
 //! 3. Schedule with Johnson's rule (Alg. 1).
 //!
-//! [`jps_best_mix_plan`] replaces the closed-form ratio with an `O(n)`
-//! scan over every mix count — never worse than the ratio plan, used to
-//! quantify how much the closed form gives away (ablation bench).
+//! [`Strategy::JpsBestMix`] replaces the closed-form ratio with an
+//! `O(n)` scan over every mix count — never worse than the ratio plan,
+//! used to quantify how much the closed form gives away (ablation
+//! bench).
 //!
 //! ## Hot path
 //!
@@ -18,8 +19,8 @@
 //! kernels of [`mcdnn_flowshop::kernels`] — no job vectors, no Johnson
 //! sort, no O(n) recurrence per candidate. Only the winning candidate
 //! is materialized into a [`Plan`] (whose `makespan_ms` is therefore
-//! still the exact recurrence value). This drops [`jps_plan`] from
-//! O(k·n log n) to O(k + n) and [`jps_best_mix_plan`] from
+//! still the exact recurrence value). This drops [`Strategy::Jps`] from
+//! O(k·n log n) to O(k + n) and [`Strategy::JpsBestMix`] from
 //! O(n² log n) to O(k + n). The pre-refactor implementations survive in
 //! [`crate::reference`]; property tests pin the two paths to
 //! bit-identical output.
@@ -155,7 +156,7 @@ fn best_jps_candidate(
     (best, best_score, evals)
 }
 
-/// The exhaustive two-type mix refinement of [`jps_best_mix_plan`]:
+/// The exhaustive two-type mix refinement of `jps_best_mix_plan`:
 /// scan every `m ∈ 0..=n` (when an `l*−1` exists) with strict-`<`
 /// improvement over the incumbent. Returns the extra kernel
 /// evaluations. Factored out so the frontier compiler replays the
@@ -183,8 +184,8 @@ fn best_mix_refine(
 
 /// Counter-free winner computation shared by the planners and the
 /// bandwidth-frontier compiler: Alg. 2 search plus the candidate scan
-/// of [`jps_plan`] (and the exhaustive mix scan of
-/// [`jps_best_mix_plan`] when `best_mix`), in the exact order and with
+/// of `jps_plan` (and the exhaustive mix scan of
+/// `jps_best_mix_plan` when `best_mix`), in the exact order and with
 /// the exact tie-breaks of the public planners. Emits no observability
 /// counters so frontier compilation probes do not inflate the
 /// `planner.*` work metrics.
@@ -223,27 +224,9 @@ pub(crate) fn winning_candidate(
 /// winner is materialized, so the whole search is O(k + n) with exactly
 /// one allocation of the cut vector.
 ///
-/// This free function is deprecated; call
-/// [`Strategy::plan`]/[`Strategy::try_plan`](crate::Strategy::try_plan)
-/// (`Strategy::Jps`) instead:
-///
-/// ```
-/// use mcdnn_partition::Strategy;
-/// use mcdnn_profile::CostProfile;
-///
-/// let profile = CostProfile::from_vectors(
-///     "demo",
-///     vec![0.0, 4.0, 7.0, 20.0],
-///     vec![99.0, 6.0, 2.0, 0.0],
-///     None,
-/// );
-/// let jps = Strategy::Jps.plan(&profile, 10);
-/// let lo = Strategy::LocalOnly.plan(&profile, 10);
-/// assert!(jps.makespan_ms < lo.makespan_ms);
-/// assert_eq!(jps.cuts.len(), 10);
-/// ```
-#[deprecated(since = "0.1.0", note = "use Strategy::Jps.plan(profile, n) instead")]
-pub fn jps_plan(profile: &CostProfile, n: usize) -> Plan {
+/// Reached through [`Strategy::Jps`]'s
+/// [`plan`](Strategy::plan)/[`try_plan`](crate::Strategy::try_plan).
+pub(crate) fn jps_plan(profile: &CostProfile, n: usize) -> Plan {
     let _span = mcdnn_obs::span("planner", "jps_plan");
     let search = binary_search_cut(profile);
     let (best, _, evals) = best_jps_candidate(profile, n, &search);
@@ -259,11 +242,9 @@ pub fn jps_plan(profile: &CostProfile, n: usize) -> Plan {
 /// total (it was O(n² log n) when each mix built and sorted its own job
 /// vector) and still never worse than the ratio plan.
 ///
-/// This free function is deprecated; call
-/// [`Strategy::plan`]/[`Strategy::try_plan`](crate::Strategy::try_plan)
-/// (`Strategy::JpsBestMix`) instead.
-#[deprecated(since = "0.1.0", note = "use Strategy::JpsBestMix.plan(profile, n) instead")]
-pub fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
+/// Reached through [`Strategy::JpsBestMix`]'s
+/// [`plan`](Strategy::plan)/[`try_plan`](crate::Strategy::try_plan).
+pub(crate) fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
     let _span = mcdnn_obs::span("planner", "jps_best_mix_plan");
     let search = binary_search_cut(profile);
     let (mut best, mut best_score, mut evals) = best_jps_candidate(profile, n, &search);
@@ -275,9 +256,6 @@ pub fn jps_best_mix_plan(profile: &CostProfile, n: usize) -> Plan {
 }
 
 #[cfg(test)]
-// The defining module's own tests keep exercising the deprecated entry
-// points directly — they are the implementation under test.
-#[allow(deprecated)]
 mod tests {
     use super::*;
 

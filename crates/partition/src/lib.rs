@@ -43,12 +43,6 @@ pub mod plan;
 pub mod reference;
 
 pub use alg2::{binary_search_cut, mixing_ratio, CutSearch};
-// The deprecated free planner functions stay re-exported so existing
-// scripts keep compiling (with a warning); new code goes through
-// `Strategy::plan`/`Strategy::try_plan` — the enum surface is the one
-// that will keep growing.
-#[allow(deprecated)]
-pub use baselines::{brute_force_plan, cloud_only_plan, local_only_plan, partition_only_plan};
 pub use error::{ParseStrategyError, PlanError};
 pub use batching::{best_batch_size, evaluate_batch, BatchChoice};
 pub use continuous::{
@@ -60,7 +54,5 @@ pub use flowtime_aware::{flowtime_jps_plan, FlowtimePlan};
 pub use frontier::{CutMix, FrontierDecision, PlanCache, RateFrontier, RateProfile};
 pub use general::{general_jps_plan, multipath_cuts, GeneralPlan};
 pub use heterogeneous::{hetero_brute_force, hetero_jps_plan, HeteroPlan, JobGroup};
-#[allow(deprecated)]
-pub use jps::{jps_best_mix_plan, jps_plan};
 pub use multichannel::{makespan_multichannel, multichannel_jps_plan};
 pub use plan::{Plan, Strategy};

@@ -52,14 +52,26 @@ impl Strategy {
     /// Plan `n` homogeneous jobs with this strategy.
     ///
     /// Lenient surface: accepts non-monotone profiles (the uniform
-    /// sweep handles them) and panics on infeasible brute-force sizes,
-    /// matching the free planner functions it dispatches to. Use
-    /// [`Strategy::try_plan`] when failures must reach the caller as
-    /// values.
+    /// sweep handles them) and panics on infeasible brute-force sizes.
+    /// Use [`Strategy::try_plan`] when failures must reach the caller
+    /// as values.
+    ///
+    /// ```
+    /// use mcdnn_partition::Strategy;
+    /// use mcdnn_profile::CostProfile;
+    ///
+    /// let profile = CostProfile::from_vectors(
+    ///     "demo",
+    ///     vec![0.0, 4.0, 7.0, 20.0],
+    ///     vec![99.0, 6.0, 2.0, 0.0],
+    ///     None,
+    /// );
+    /// let jps = Strategy::Jps.plan(&profile, 10);
+    /// let lo = Strategy::LocalOnly.plan(&profile, 10);
+    /// assert!(jps.makespan_ms < lo.makespan_ms);
+    /// assert_eq!(jps.cuts.len(), 10);
+    /// ```
     pub fn plan(self, profile: &CostProfile, n: usize) -> Plan {
-        // This dispatch is the one sanctioned caller of the deprecated
-        // free functions — they remain the implementations.
-        #[allow(deprecated)]
         match self {
             Strategy::LocalOnly => crate::baselines::local_only_plan(profile, n),
             Strategy::CloudOnly => crate::baselines::cloud_only_plan(profile, n),
@@ -298,8 +310,6 @@ mod tests {
     }
 
     #[test]
-    // This equivalence test is exactly about the deprecated functions.
-    #[allow(deprecated)]
     fn strategy_plan_matches_free_functions() {
         let p = profile();
         for (s, free) in [

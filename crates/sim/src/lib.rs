@@ -30,6 +30,7 @@ pub mod fault;
 pub mod online;
 pub mod robustness;
 pub mod serve;
+pub mod slo;
 pub mod stream;
 pub mod trace;
 pub mod validate;
@@ -52,6 +53,10 @@ pub use online::{run_online, BandwidthTrace, OnlineResult, ReplanPolicy};
 pub use serve::{
     fleet, run_user, serve_fleet, serve_fleet_serial, BurstOutcome, ServeConfig, ServeReport,
     UserSession, UserSpec, UserSummary,
+};
+pub use slo::{
+    serve_slo, serve_slo_serial, slo_fleet, AdmitError, ClassSummary, SloClass, SloConfig,
+    SloPolicy, SloReport, SloRequest, SloSpec, SloTenant, TenantSloSummary,
 };
 pub use robustness::{
     chaos_drill, chaos_scenarios, realized_makespans, run_chaos_grid, ChaosDrill, ChaosRow,

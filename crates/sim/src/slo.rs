@@ -1,0 +1,1098 @@
+//! SLO-aware admission control and deadline scheduling.
+//!
+//! [`serve`](crate::serve) answers "what does a fleet of independent
+//! sessions cost"; this module adds the missing control plane: *which*
+//! requests run *when* once the fleet contends for a shared uplink.
+//! Every request carries an SLO class (deadline slack + priority drawn
+//! from a seeded [`SloSpec`]), the front-end queue orders work
+//! earliest-deadline-first with per-tenant weighted fair queueing, and
+//! overload sheds or degrades instead of queueing unboundedly: a
+//! request whose deadline is infeasible at the current bandwidth is
+//! walked down the PR-3 degradation ladder — the cheapest
+//! [`LadderLevel`] whose projected completion fits the slack — before
+//! it is rejected.
+//!
+//! # Virtual-time model
+//!
+//! The simulator is a deterministic virtual-time scheduler over two
+//! resources:
+//!
+//! * each tenant's **device** runs its own on-device prefix work (`D`,
+//!   [`RateProfile::mix_mobile_ms`]) in parallel with everyone else;
+//! * one **shared uplink/cloud server** serializes per-burst upload
+//!   occupancy (`U`, [`RateProfile::mix_upload_ms`]) across tenants.
+//!
+//! A request dispatched at time `t` starts its upload at
+//! `max(t, arrival + D)` and completes `U` later; the server is busy
+//! until that completion. A mobile-only rung has `U = 0` and never
+//! occupies the server. Deeper ladder rungs replan at a pessimistic
+//! bandwidth, trading device work (`D` grows) for uplink bytes (`U`
+//! shrinks) — under contention that finishes the request *and* frees
+//! the server sooner, which is exactly why degrading one request can
+//! rescue several deadlines behind it. Rungs price device work from the
+//! request's arrival: the rung is chosen at dispatch, so this is a
+//! virtual-time idealization, not a causal executor.
+//!
+//! # Determinism contract
+//!
+//! Request generation is a pure function of the tenant spec and the
+//! [`SloConfig`]; the scheduling loop itself runs serially in virtual
+//! time. [`serve_slo`] parallelizes only the per-tenant generation
+//! phase across a [`WorkerPool`] and collects it in tenant-id order,
+//! so its report is **byte-equal** to [`serve_slo_serial`] at any pool
+//! width. Each report carries an FNV-1a digest folding every request's
+//! arrival, class, ladder rung, dispatch and completion bits — equal
+//! digests ⇒ bit-identical schedules.
+//!
+//! Observability: the scheduler exports `sched.*` counters (requests,
+//! admissions, both shed causes, degradations, deadline hits/misses)
+//! and `sched.queue_depth` / `sched.slack_ms` / `sched.latency_ms`
+//! histograms through `mcdnn-obs`. Report percentiles are computed
+//! exactly from the recorded latencies, never from histogram buckets,
+//! so they stay bit-stable.
+
+use std::sync::Arc;
+
+use mcdnn_partition::{CutMix, PlanCache, PlanError, RateFrontier, RateProfile};
+use mcdnn_rng::Rng;
+use mcdnn_runtime::WorkerPool;
+
+use crate::degrade::LadderLevel;
+use crate::serve::UserSpec;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Why a request could not be admitted — configuration and planning
+/// failures surfaced by the admission layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AdmitError {
+    /// The tenant's frontier could not be compiled.
+    Plan(PlanError),
+    /// The [`SloConfig`] is internally inconsistent.
+    BadConfig {
+        /// Which knob is broken, human-readable.
+        what: &'static str,
+    },
+    /// No tenants were supplied.
+    EmptyFleet,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Plan(e) => write!(f, "admission planning failed: {e}"),
+            AdmitError::BadConfig { what } => write!(f, "bad SLO config: {what}"),
+            AdmitError::EmptyFleet => write!(f, "SLO fleet has no tenants"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdmitError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for AdmitError {
+    fn from(e: PlanError) -> Self {
+        AdmitError::Plan(e)
+    }
+}
+
+/// One service class: how much slack a request of this class gets and
+/// how it ranks against other classes at equal deadlines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloClass {
+    /// Display name ("interactive", "standard", "batch", ...).
+    pub name: &'static str,
+    /// Deadline = arrival + `slack_factor` × the request's nominal
+    /// unloaded service time (device + uplink at its own bandwidth).
+    pub slack_factor: f64,
+    /// Tie-break rank at equal deadlines; lower wins.
+    pub priority: u8,
+}
+
+/// The seeded class mix requests draw from: each class paired with its
+/// sampling weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// `(class, sampling weight)` pairs; weights need not sum to 1.
+    pub classes: Vec<(SloClass, f64)>,
+}
+
+impl Default for SloSpec {
+    /// Three-class mix: half interactive (tight 1.5× slack), a third
+    /// standard, the rest batch (loose 8× slack).
+    fn default() -> Self {
+        SloSpec {
+            classes: vec![
+                (
+                    SloClass {
+                        name: "interactive",
+                        slack_factor: 1.5,
+                        priority: 0,
+                    },
+                    0.5,
+                ),
+                (
+                    SloClass {
+                        name: "standard",
+                        slack_factor: 3.0,
+                        priority: 1,
+                    },
+                    0.3,
+                ),
+                (
+                    SloClass {
+                        name: "batch",
+                        slack_factor: 8.0,
+                        priority: 2,
+                    },
+                    0.2,
+                ),
+            ],
+        }
+    }
+}
+
+impl SloSpec {
+    /// Sample a class index from the weighted mix.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let total: f64 = self.classes.iter().map(|(_, w)| w).sum();
+        let mut x = rng.f64() * total;
+        for (i, (_, w)) in self.classes.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        self.classes.len() - 1
+    }
+}
+
+/// Front-end queue discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloPolicy {
+    /// Arrival order, always the Normal rung, unbounded queue, no
+    /// shedding — the baseline every serving stack starts from.
+    Fifo,
+    /// Earliest-deadline-first with per-tenant weighted fair queueing,
+    /// a bounded queue that sheds on overflow, and ladder degradation
+    /// before any infeasibility shed.
+    EdfDegrade,
+}
+
+impl std::fmt::Display for SloPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SloPolicy::Fifo => "fifo",
+            SloPolicy::EdfDegrade => "edf-degrade",
+        })
+    }
+}
+
+/// Knobs shared by every tenant of an SLO scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Requests each tenant offers before its stream ends.
+    pub requests_per_tenant: usize,
+    /// Lower edge of the compiled bandwidth range, Mbps.
+    pub lo_mbps: f64,
+    /// Upper edge of the compiled bandwidth range, Mbps.
+    pub hi_mbps: f64,
+    /// Offered uplink occupancy as a multiple of server capacity;
+    /// 2.0 = the fleet offers twice what the shared link can carry.
+    pub overload: f64,
+    /// Queue bound for [`SloPolicy::EdfDegrade`]; arrivals past it are
+    /// shed on the spot. FIFO ignores it (that is the point).
+    pub max_queue: usize,
+    /// The seeded class mix.
+    pub spec: SloSpec,
+    /// Seed for fleet generation; per-tenant streams derive from it.
+    pub seed: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            requests_per_tenant: 50,
+            lo_mbps: 1.0,
+            hi_mbps: 100.0,
+            overload: 2.0,
+            max_queue: 64,
+            spec: SloSpec::default(),
+            seed: 0x510_5EED,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Check internal consistency; every serve entry point calls this.
+    pub fn validate(&self) -> Result<(), AdmitError> {
+        if self.requests_per_tenant == 0 {
+            return Err(AdmitError::BadConfig {
+                what: "requests_per_tenant must be >= 1",
+            });
+        }
+        if !(self.lo_mbps > 0.0 && self.hi_mbps > self.lo_mbps) {
+            return Err(AdmitError::BadConfig {
+                what: "need 0 < lo_mbps < hi_mbps",
+            });
+        }
+        if !self.overload.is_finite() || self.overload <= 0.0 {
+            return Err(AdmitError::BadConfig {
+                what: "overload must be > 0",
+            });
+        }
+        if self.max_queue == 0 {
+            return Err(AdmitError::BadConfig {
+                what: "max_queue must be >= 1",
+            });
+        }
+        let total: f64 = self.spec.classes.iter().map(|(_, w)| w).sum();
+        if self.spec.classes.is_empty() || !total.is_finite() || total <= 0.0 {
+            return Err(AdmitError::BadConfig {
+                what: "SloSpec needs classes with positive total weight",
+            });
+        }
+        for (c, w) in &self.spec.classes {
+            if !c.slack_factor.is_finite() || c.slack_factor <= 0.0 || *w < 0.0 {
+                return Err(AdmitError::BadConfig {
+                    what: "class slack_factor must be > 0 and weights >= 0",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One tenant of the SLO fleet: a serving spec plus its fair-queueing
+/// weight.
+#[derive(Debug, Clone)]
+pub struct SloTenant {
+    /// Model / strategy / burst-size / trace-seed, as in plain serving.
+    pub spec: UserSpec,
+    /// Weighted-fair-queueing share; a weight-2 tenant is entitled to
+    /// twice the service of a weight-1 tenant before being deferred.
+    pub weight: f64,
+}
+
+/// Generate a tenant fleet: monotone profiles cycled exactly as
+/// [`crate::serve::fleet`] does, plus seeded WFQ weights from
+/// {1, 2, 4}.
+pub fn slo_fleet(profiles: &[RateProfile], tenants: usize, config: &SloConfig) -> Vec<SloTenant> {
+    let usable: Vec<&RateProfile> = profiles
+        .iter()
+        .filter(|p| p.check_monotone().is_ok())
+        .collect();
+    assert!(!usable.is_empty(), "need at least one monotone profile");
+    let mut rng = Rng::seed_from_u64(config.seed);
+    (0..tenants)
+        .map(|id| {
+            let profile = usable[id % usable.len()].clone();
+            let strategy = if rng.gen_bool(0.5) {
+                mcdnn_partition::Strategy::JpsBestMix
+            } else {
+                mcdnn_partition::Strategy::Jps
+            };
+            let n_jobs = rng.gen_range(2usize..=8);
+            let weight = [1.0, 2.0, 4.0][rng.gen_range(0usize..3)];
+            SloTenant {
+                spec: UserSpec {
+                    id,
+                    profile,
+                    strategy,
+                    n_jobs,
+                    seed: rng.next_u64(),
+                },
+                weight,
+            }
+        })
+        .collect()
+}
+
+/// One offered request, fully determined by its tenant's seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloRequest {
+    /// Owning tenant id.
+    pub tenant: usize,
+    /// Position in the tenant's stream.
+    pub seq: usize,
+    /// Index into [`SloSpec::classes`].
+    pub class: usize,
+    /// Arrival time, virtual ms.
+    pub arrival_ms: f64,
+    /// Link bandwidth the request observes, Mbps.
+    pub bandwidth_mbps: f64,
+    /// Unloaded Normal-rung service time (device + uplink), ms.
+    pub nominal_ms: f64,
+    /// Absolute deadline, virtual ms.
+    pub deadline_ms: f64,
+}
+
+/// What the scheduler did with one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Outcome {
+    tenant: usize,
+    seq: usize,
+    class: usize,
+    arrival_ms: f64,
+    deadline_ms: f64,
+    /// Rung the request executed at (Normal when admitted undegraded;
+    /// meaningless when shed).
+    level: LadderLevel,
+    /// Completion time; `f64::INFINITY` when shed.
+    completion_ms: f64,
+    shed: bool,
+    hit: bool,
+}
+
+/// The ladder walked at dispatch, least degraded first. Deeper rungs
+/// replan at a pessimistic bandwidth (mobile-heavier mix: more device
+/// work, fewer uplink bytes); the last rung runs fully on-device.
+const LADDER: [(LadderLevel, f64); 4] = [
+    (LadderLevel::Normal, 1.0),
+    (LadderLevel::Replanned, 0.5),
+    (LadderLevel::Shifted, 0.1),
+    (LadderLevel::MobileOnly, 0.0),
+];
+
+/// Price one rung for a request at actual bandwidth `b`: total device
+/// ms and total uplink-occupancy ms.
+fn rung_cost(
+    frontier: &RateFrontier,
+    n_jobs: usize,
+    level_frac: f64,
+    b: f64,
+    lo: f64,
+    hi: f64,
+) -> (f64, f64) {
+    let profile = frontier.profile();
+    if level_frac == 0.0 {
+        let k = profile.k();
+        let d = profile.mix_mobile_ms(n_jobs, CutMix::Uniform { cut: k });
+        return (d, 0.0);
+    }
+    let mix = frontier.decide_at((b * level_frac).clamp(lo, hi)).mix;
+    let d = profile.mix_mobile_ms(n_jobs, mix);
+    let u = profile.mix_upload_ms(n_jobs, mix, b);
+    (d, u)
+}
+
+/// Generate one tenant's request stream. Pure in `(tenant, config)`:
+/// the stream never depends on scheduling, which is what makes pooled
+/// generation byte-equal to serial.
+fn tenant_requests(
+    cache: &PlanCache,
+    tenant: &SloTenant,
+    fleet_size: usize,
+    config: &SloConfig,
+) -> Result<(Vec<SloRequest>, Arc<RateFrontier>), AdmitError> {
+    let spec = &tenant.spec;
+    let frontier = cache.frontier(
+        &spec.profile,
+        spec.strategy,
+        spec.n_jobs,
+        config.lo_mbps,
+        config.hi_mbps,
+    )?;
+    let mut rng = Rng::seed_from_u64(spec.seed);
+    let mid = (config.lo_mbps * config.hi_mbps).sqrt();
+    // Calibrate arrivals so the fleet's total offered uplink occupancy
+    // is `overload` × server capacity: each tenant offers occupancy at
+    // rate overload / fleet_size.
+    let mid_mix = frontier.decide_at(mid).mix;
+    let u_mid = spec
+        .profile
+        .mix_upload_ms(spec.n_jobs, mid_mix, mid)
+        .max(0.5);
+    let mean_gap = fleet_size as f64 * u_mid / config.overload;
+    let mut bandwidth = config.lo_mbps * (config.hi_mbps / config.lo_mbps).powf(rng.f64());
+    let mut arrival = 0.0;
+    let mut out = Vec::with_capacity(config.requests_per_tenant);
+    for seq in 0..config.requests_per_tenant {
+        arrival += mean_gap * (0.5 + rng.f64());
+        let step = 1.0 + 0.25 * (rng.f64() * 2.0 - 1.0);
+        bandwidth = (bandwidth * step).clamp(config.lo_mbps, config.hi_mbps);
+        let class = config.spec.sample(&mut rng);
+        let mix = frontier.decide_at(bandwidth).mix;
+        let nominal = spec.profile.mix_mobile_ms(spec.n_jobs, mix)
+            + spec.profile.mix_upload_ms(spec.n_jobs, mix, bandwidth);
+        let slack = config.spec.classes[class].0.slack_factor;
+        out.push(SloRequest {
+            tenant: spec.id,
+            seq,
+            class,
+            arrival_ms: arrival,
+            bandwidth_mbps: bandwidth,
+            nominal_ms: nominal,
+            deadline_ms: arrival + slack * nominal,
+        });
+    }
+    Ok((out, frontier))
+}
+
+/// EDF + WFQ pop: pick the queued index to dispatch next. On-share
+/// tenants go first in (deadline, priority) order; tenants past their
+/// weighted share are deferred behind everyone still under theirs.
+fn pick_next(
+    queue: &[SloRequest],
+    classes: &[(SloClass, f64)],
+    service: &[f64],
+    weights: &[f64],
+    total_weight: f64,
+    total_service: f64,
+) -> usize {
+    let mut best = 0usize;
+    let mut best_key = (u8::MAX, f64::INFINITY, u8::MAX, usize::MAX, usize::MAX);
+    for (i, r) in queue.iter().enumerate() {
+        let over = service[r.tenant] * total_weight > total_service * weights[r.tenant];
+        let key = (
+            u8::from(over),
+            r.deadline_ms,
+            classes[r.class].0.priority,
+            r.tenant,
+            r.seq,
+        );
+        if key < best_key {
+            best = i;
+            best_key = key;
+        }
+    }
+    best
+}
+
+/// Run the virtual-time scheduling loop over the merged request
+/// streams. Serial by construction — this *is* the deterministic core.
+fn schedule(
+    streams: &[(Vec<SloRequest>, Arc<RateFrontier>)],
+    tenants: &[SloTenant],
+    config: &SloConfig,
+    policy: SloPolicy,
+) -> SloReport {
+    let mut all: Vec<SloRequest> = streams.iter().flat_map(|(s, _)| s.iter().copied()).collect();
+    all.sort_by(|a, b| {
+        a.arrival_ms
+            .partial_cmp(&b.arrival_ms)
+            .unwrap()
+            .then(a.tenant.cmp(&b.tenant))
+            .then(a.seq.cmp(&b.seq))
+    });
+
+    let weights: Vec<f64> = {
+        let mut w = vec![1.0; tenants.len()];
+        for t in tenants {
+            w[t.spec.id] = t.weight;
+        }
+        w
+    };
+    let total_weight: f64 = weights.iter().sum();
+    let n_jobs: Vec<usize> = {
+        let mut n = vec![1; tenants.len()];
+        for t in tenants {
+            n[t.spec.id] = t.spec.n_jobs;
+        }
+        n
+    };
+    let frontiers: Vec<&Arc<RateFrontier>> = streams.iter().map(|(_, f)| f).collect();
+
+    let mut service = vec![0.0f64; tenants.len()];
+    let mut total_service = 0.0f64;
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(all.len());
+    let mut queue: Vec<SloRequest> = Vec::new();
+    let mut server_free = 0.0f64;
+    let mut next = 0usize;
+    let mut shed_queue_full = 0u64;
+    let mut shed_infeasible = 0u64;
+    let mut degraded = 0u64;
+
+    let admit = |queue: &mut Vec<SloRequest>, r: SloRequest, shed_full: &mut u64| {
+        if policy == SloPolicy::EdfDegrade && queue.len() >= config.max_queue {
+            *shed_full += 1;
+            mcdnn_obs::counter_add("sched.shed_queue_full", 1);
+            return Some(Outcome {
+                tenant: r.tenant,
+                seq: r.seq,
+                class: r.class,
+                arrival_ms: r.arrival_ms,
+                deadline_ms: r.deadline_ms,
+                level: LadderLevel::Normal,
+                completion_ms: f64::INFINITY,
+                shed: true,
+                hit: false,
+            });
+        }
+        queue.push(r);
+        None
+    };
+
+    while next < all.len() || !queue.is_empty() {
+        while next < all.len() && all[next].arrival_ms <= server_free {
+            if let Some(o) = admit(&mut queue, all[next], &mut shed_queue_full) {
+                outcomes.push(o);
+            }
+            next += 1;
+        }
+        if queue.is_empty() {
+            if next >= all.len() {
+                break;
+            }
+            server_free = all[next].arrival_ms;
+            continue;
+        }
+
+        mcdnn_obs::observe_ms("sched.queue_depth", queue.len() as f64);
+        let t = server_free;
+        let idx = match policy {
+            SloPolicy::Fifo => 0, // `all` is arrival-ordered and admits in order
+            SloPolicy::EdfDegrade => pick_next(
+                &queue,
+                &config.spec.classes,
+                &service,
+                &weights,
+                total_weight,
+                total_service,
+            ),
+        };
+        let r = queue.remove(idx);
+        mcdnn_obs::observe_ms("sched.slack_ms", (r.deadline_ms - t).max(0.0));
+
+        // Walk the ladder: cheapest rung whose projected completion
+        // fits the deadline. FIFO always runs Normal, deadline or not.
+        let frontier = frontiers[r.tenant];
+        let mut chosen: Option<(LadderLevel, f64, f64, f64)> = None;
+        for (level, frac) in LADDER {
+            let (d, u) = rung_cost(
+                frontier,
+                n_jobs[r.tenant],
+                frac,
+                r.bandwidth_mbps,
+                config.lo_mbps,
+                config.hi_mbps,
+            );
+            let completion = t.max(r.arrival_ms + d) + u;
+            if policy == SloPolicy::Fifo || completion <= r.deadline_ms {
+                chosen = Some((level, d, u, completion));
+                break;
+            }
+        }
+
+        match chosen {
+            Some((level, d, u, completion)) => {
+                if u > 0.0 {
+                    server_free = completion;
+                }
+                service[r.tenant] += d + u;
+                total_service += d + u;
+                if level != LadderLevel::Normal {
+                    degraded += 1;
+                    mcdnn_obs::counter_add("sched.degraded", 1);
+                }
+                let hit = completion <= r.deadline_ms;
+                mcdnn_obs::counter_add("sched.admitted", 1);
+                mcdnn_obs::counter_add(
+                    if hit {
+                        "sched.deadline_hits"
+                    } else {
+                        "sched.deadline_misses"
+                    },
+                    1,
+                );
+                mcdnn_obs::observe_ms("sched.latency_ms", completion - r.arrival_ms);
+                outcomes.push(Outcome {
+                    tenant: r.tenant,
+                    seq: r.seq,
+                    class: r.class,
+                    arrival_ms: r.arrival_ms,
+                    deadline_ms: r.deadline_ms,
+                    level,
+                    completion_ms: completion,
+                    shed: false,
+                    hit,
+                });
+            }
+            None => {
+                shed_infeasible += 1;
+                mcdnn_obs::counter_add("sched.shed_infeasible", 1);
+                mcdnn_obs::counter_add("sched.deadline_misses", 1);
+                outcomes.push(Outcome {
+                    tenant: r.tenant,
+                    seq: r.seq,
+                    class: r.class,
+                    arrival_ms: r.arrival_ms,
+                    deadline_ms: r.deadline_ms,
+                    level: LadderLevel::Normal,
+                    completion_ms: f64::INFINITY,
+                    shed: true,
+                    hit: false,
+                });
+            }
+        }
+    }
+    mcdnn_obs::counter_add("sched.requests", all.len() as u64);
+
+    summarize(outcomes, tenants, config, policy, shed_queue_full, shed_infeasible, degraded)
+}
+
+/// Nearest-rank percentile over an ascending slice; 0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn summarize(
+    mut outcomes: Vec<Outcome>,
+    tenants: &[SloTenant],
+    config: &SloConfig,
+    policy: SloPolicy,
+    shed_queue_full: u64,
+    shed_infeasible: u64,
+    degraded: u64,
+) -> SloReport {
+    outcomes.sort_by(|a, b| a.tenant.cmp(&b.tenant).then(a.seq.cmp(&b.seq)));
+
+    let mut per_tenant: Vec<TenantSloSummary> = tenants
+        .iter()
+        .map(|t| TenantSloSummary {
+            id: t.spec.id,
+            model: t.spec.profile.name().to_string(),
+            weight: t.weight,
+            requests: 0,
+            admitted: 0,
+            shed: 0,
+            degraded: 0,
+            hits: 0,
+            hit_rate: 0.0,
+            mean_latency_ms: 0.0,
+            digest: FNV_OFFSET,
+        })
+        .collect();
+    per_tenant.sort_by_key(|t| t.id);
+
+    let mut classes: Vec<ClassSummary> = config
+        .spec
+        .classes
+        .iter()
+        .map(|(c, _)| ClassSummary {
+            name: c.name,
+            requests: 0,
+            hits: 0,
+            hit_rate: 0.0,
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut admitted, mut hits) = (0u64, 0u64);
+    for o in &outcomes {
+        let t = &mut per_tenant[o.tenant];
+        t.requests += 1;
+        let mut d = t.digest;
+        d = fnv_fold(d, o.seq as u64);
+        d = fnv_fold(d, o.arrival_ms.to_bits());
+        d = fnv_fold(d, o.class as u64);
+        d = fnv_fold(d, o.level as u64);
+        d = fnv_fold(d, o.completion_ms.to_bits());
+        d = fnv_fold(d, u64::from(o.hit));
+        t.digest = d;
+        classes[o.class].requests += 1;
+        if o.shed {
+            t.shed += 1;
+            continue;
+        }
+        admitted += 1;
+        t.admitted += 1;
+        if o.level != LadderLevel::Normal {
+            t.degraded += 1;
+        }
+        let latency = o.completion_ms - o.arrival_ms;
+        t.mean_latency_ms += latency;
+        latencies.push(latency);
+        if o.hit {
+            hits += 1;
+            t.hits += 1;
+            classes[o.class].hits += 1;
+        }
+    }
+    for t in &mut per_tenant {
+        if t.admitted > 0 {
+            t.mean_latency_ms /= t.admitted as f64;
+        }
+        if t.requests > 0 {
+            t.hit_rate = t.hits as f64 / t.requests as f64;
+        }
+    }
+    for c in &mut classes {
+        if c.requests > 0 {
+            c.hit_rate = c.hits as f64 / c.requests as f64;
+        }
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    let mut digest = FNV_OFFSET;
+    for t in &per_tenant {
+        digest = fnv_fold(fnv_fold(digest, t.id as u64), t.digest);
+    }
+    let total = outcomes.len() as u64;
+    SloReport {
+        policy,
+        total_requests: total,
+        admitted,
+        shed_queue_full,
+        shed_infeasible,
+        degraded,
+        deadline_hits: hits,
+        hit_rate: if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        },
+        p50_latency_ms: percentile(&latencies, 0.50),
+        p95_latency_ms: percentile(&latencies, 0.95),
+        p99_latency_ms: percentile(&latencies, 0.99),
+        tenants: per_tenant,
+        classes,
+        digest,
+    }
+}
+
+/// One tenant's completed scheduling history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSloSummary {
+    /// Fleet-wide tenant id.
+    pub id: usize,
+    /// Model name (display only).
+    pub model: String,
+    /// WFQ weight.
+    pub weight: f64,
+    /// Requests offered.
+    pub requests: u64,
+    /// Requests that ran (any rung).
+    pub admitted: u64,
+    /// Requests shed (queue overflow or infeasible deadline).
+    pub shed: u64,
+    /// Admitted requests that ran below the Normal rung.
+    pub degraded: u64,
+    /// Requests that met their deadline.
+    pub hits: u64,
+    /// `hits / requests` (sheds count as misses).
+    pub hit_rate: f64,
+    /// Mean completion − arrival over admitted requests, ms.
+    pub mean_latency_ms: f64,
+    /// FNV-1a digest of the tenant's request outcomes in seq order.
+    pub digest: u64,
+}
+
+/// Per-class deadline accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSummary {
+    /// Class name from the [`SloSpec`].
+    pub name: &'static str,
+    /// Requests of this class offered.
+    pub requests: u64,
+    /// Requests of this class that met their deadline.
+    pub hits: u64,
+    /// `hits / requests`.
+    pub hit_rate: f64,
+}
+
+/// A completed SLO scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Queue discipline that produced this report.
+    pub policy: SloPolicy,
+    /// Requests offered across the fleet.
+    pub total_requests: u64,
+    /// Requests that ran (any rung).
+    pub admitted: u64,
+    /// Arrivals shed because the bounded queue was full.
+    pub shed_queue_full: u64,
+    /// Dispatches shed because no ladder rung fit the slack.
+    pub shed_infeasible: u64,
+    /// Admitted requests that ran below the Normal rung.
+    pub degraded: u64,
+    /// Requests that met their deadline.
+    pub deadline_hits: u64,
+    /// `deadline_hits / total_requests` (sheds count as misses).
+    pub hit_rate: f64,
+    /// Median completion − arrival over admitted requests, ms.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile latency, ms (nearest-rank, exact).
+    pub p95_latency_ms: f64,
+    /// 99th-percentile latency, ms (nearest-rank, exact).
+    pub p99_latency_ms: f64,
+    /// Per-tenant summaries in id order.
+    pub tenants: Vec<TenantSloSummary>,
+    /// Per-class deadline accounting, in [`SloSpec`] order.
+    pub classes: Vec<ClassSummary>,
+    /// FNV-1a fold of the tenant digests in id order.
+    pub digest: u64,
+}
+
+/// Schedule the fleet with per-tenant request generation fanned out
+/// across a persistent [`WorkerPool`]. Generation results come back in
+/// tenant-id order and the scheduling loop is serial virtual time, so
+/// the report is **byte-identical** to [`serve_slo_serial`] at any
+/// worker count (the equivalence tests pin this).
+pub fn serve_slo(
+    pool: &WorkerPool,
+    cache: &Arc<PlanCache>,
+    tenants: &[SloTenant],
+    config: &SloConfig,
+    policy: SloPolicy,
+) -> Result<SloReport, AdmitError> {
+    config.validate()?;
+    if tenants.is_empty() {
+        return Err(AdmitError::EmptyFleet);
+    }
+    let shared: Arc<Vec<SloTenant>> = Arc::new(tenants.to_vec());
+    let cache_ref = Arc::clone(cache);
+    let config_ref = Arc::new(config.clone());
+    let fleet_size = shared.len();
+    let results = pool.run_indexed(fleet_size, move |i| {
+        tenant_requests(&cache_ref, &shared[i], fleet_size, &config_ref)
+    });
+    let mut streams = Vec::with_capacity(results.len());
+    for r in results {
+        streams.push(r?);
+    }
+    Ok(schedule(&streams, tenants, config, policy))
+}
+
+/// Schedule the fleet serially on the calling thread — the reference
+/// the pooled path is compared against.
+pub fn serve_slo_serial(
+    cache: &PlanCache,
+    tenants: &[SloTenant],
+    config: &SloConfig,
+    policy: SloPolicy,
+) -> Result<SloReport, AdmitError> {
+    config.validate()?;
+    if tenants.is_empty() {
+        return Err(AdmitError::EmptyFleet);
+    }
+    let mut streams = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        streams.push(tenant_requests(cache, t, tenants.len(), config)?);
+    }
+    Ok(schedule(&streams, tenants, config, policy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcdnn_partition::Strategy;
+
+    fn test_profiles() -> Vec<RateProfile> {
+        vec![
+            RateProfile::from_parts(
+                "alpha",
+                vec![0.0, 4.0, 7.0, 20.0],
+                vec![120_000, 60_000, 20_000, 0],
+                2.0,
+                None,
+            )
+            .unwrap(),
+            RateProfile::from_parts(
+                "beta",
+                vec![0.0, 2.0, 9.0, 11.0, 15.0],
+                vec![200_000, 90_000, 40_000, 10_000, 0],
+                1.0,
+                None,
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn test_config() -> SloConfig {
+        SloConfig {
+            requests_per_tenant: 60,
+            overload: 2.0,
+            ..SloConfig::default()
+        }
+    }
+
+    #[test]
+    fn request_streams_are_deterministic() {
+        let config = test_config();
+        let fleet = slo_fleet(&test_profiles(), 6, &config);
+        let cache = PlanCache::new();
+        let a = serve_slo_serial(&cache, &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        let b = serve_slo_serial(&cache, &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.digest, FNV_OFFSET);
+    }
+
+    #[test]
+    fn pooled_report_is_byte_equal_to_serial_at_any_width() {
+        let config = test_config();
+        let fleet = slo_fleet(&test_profiles(), 10, &config);
+        for policy in [SloPolicy::Fifo, SloPolicy::EdfDegrade] {
+            let serial_cache = PlanCache::with_shards(1);
+            let serial = serve_slo_serial(&serial_cache, &fleet, &config, policy).unwrap();
+            for workers in [1usize, 2, 4, 8] {
+                let pool = WorkerPool::new(workers);
+                let cache = Arc::new(PlanCache::new());
+                let pooled = serve_slo(&pool, &cache, &fleet, &config, policy).unwrap();
+                assert_eq!(serial, pooled, "policy={policy} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn edf_with_degradation_beats_fifo_under_overload() {
+        let config = test_config();
+        let fleet = slo_fleet(&test_profiles(), 8, &config);
+        let cache = PlanCache::new();
+        let fifo = serve_slo_serial(&cache, &fleet, &config, SloPolicy::Fifo).unwrap();
+        let edf = serve_slo_serial(&cache, &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        assert!(
+            edf.hit_rate > fifo.hit_rate,
+            "EDF+degrade {:.3} must beat FIFO {:.3} at 2x overload",
+            edf.hit_rate,
+            fifo.hit_rate
+        );
+        assert!(edf.degraded > 0, "overload must exercise the ladder");
+        assert!(
+            fifo.shed_queue_full == 0 && fifo.shed_infeasible == 0,
+            "FIFO never sheds"
+        );
+    }
+
+    #[test]
+    fn accounting_is_conserved() {
+        let config = test_config();
+        let fleet = slo_fleet(&test_profiles(), 8, &config);
+        let cache = PlanCache::new();
+        for policy in [SloPolicy::Fifo, SloPolicy::EdfDegrade] {
+            let r = serve_slo_serial(&cache, &fleet, &config, policy).unwrap();
+            assert_eq!(
+                r.total_requests,
+                (8 * config.requests_per_tenant) as u64,
+                "{policy}"
+            );
+            assert_eq!(
+                r.admitted + r.shed_queue_full + r.shed_infeasible,
+                r.total_requests
+            );
+            assert!(r.deadline_hits <= r.admitted);
+            let by_tenant: u64 = r.tenants.iter().map(|t| t.requests).sum();
+            assert_eq!(by_tenant, r.total_requests);
+            let by_class: u64 = r.classes.iter().map(|c| c.requests).sum();
+            assert_eq!(by_class, r.total_requests);
+            // Admitted EDF requests only run rungs that fit, so every
+            // admitted request is a hit under EdfDegrade.
+            if policy == SloPolicy::EdfDegrade {
+                assert_eq!(r.deadline_hits, r.admitted);
+            }
+        }
+    }
+
+    #[test]
+    fn fair_queueing_keeps_every_tenant_served_under_overload() {
+        let config = SloConfig {
+            overload: 3.0,
+            ..test_config()
+        };
+        let fleet = slo_fleet(&test_profiles(), 6, &config);
+        let cache = PlanCache::new();
+        let r = serve_slo_serial(&cache, &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        for t in &r.tenants {
+            assert!(
+                t.hits > 0,
+                "tenant {} (weight {}) starved: {t:?}",
+                t.id,
+                t.weight
+            );
+        }
+    }
+
+    #[test]
+    fn deadlines_are_feasible_unloaded() {
+        // At trivial load every class has slack >= 1.5x nominal, so an
+        // EDF run admits everything at the Normal rung.
+        let config = SloConfig {
+            overload: 0.05,
+            ..test_config()
+        };
+        let fleet = slo_fleet(&test_profiles(), 2, &config);
+        let cache = PlanCache::new();
+        let r = serve_slo_serial(&cache, &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        assert_eq!(r.admitted, r.total_requests, "no sheds at 0.05x load");
+        assert_eq!(r.degraded, 0, "no ladder at 0.05x load");
+        assert_eq!(r.deadline_hits, r.total_requests);
+    }
+
+    #[test]
+    fn sched_counters_accumulate() {
+        mcdnn_obs::set_enabled(true);
+        let config = test_config();
+        let fleet = slo_fleet(&test_profiles(), 4, &config);
+        let cache = PlanCache::new();
+        let req0 = mcdnn_obs::counter_value("sched.requests");
+        let adm0 = mcdnn_obs::counter_value("sched.admitted");
+        let hit0 = mcdnn_obs::counter_value("sched.deadline_hits");
+        let miss0 = mcdnn_obs::counter_value("sched.deadline_misses");
+        let r = serve_slo_serial(&cache, &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        assert_eq!(
+            mcdnn_obs::counter_value("sched.requests") - req0,
+            r.total_requests
+        );
+        assert_eq!(
+            mcdnn_obs::counter_value("sched.admitted") - adm0,
+            r.admitted
+        );
+        assert_eq!(
+            mcdnn_obs::counter_value("sched.deadline_hits") - hit0,
+            r.deadline_hits
+        );
+        assert_eq!(
+            (mcdnn_obs::counter_value("sched.deadline_misses") - miss0)
+                + (mcdnn_obs::counter_value("sched.deadline_hits") - hit0),
+            r.total_requests - r.shed_queue_full,
+            "every dispatched or infeasible request lands in hit or miss"
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let cache = PlanCache::new();
+        let fleet = slo_fleet(&test_profiles(), 2, &SloConfig::default());
+        let bad = SloConfig {
+            overload: 0.0,
+            ..SloConfig::default()
+        };
+        assert!(matches!(
+            serve_slo_serial(&cache, &fleet, &bad, SloPolicy::Fifo),
+            Err(AdmitError::BadConfig { .. })
+        ));
+        assert!(matches!(
+            serve_slo_serial(&cache, &[], &SloConfig::default(), SloPolicy::Fifo),
+            Err(AdmitError::EmptyFleet)
+        ));
+        let e = AdmitError::from(PlanError::NonMonotoneF { at: 1 });
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("planning failed"));
+    }
+
+    #[test]
+    fn strategy_still_listed() {
+        // slo_fleet alternates strategies like serve::fleet does.
+        let fleet = slo_fleet(&test_profiles(), 16, &SloConfig::default());
+        assert!(fleet.iter().any(|t| t.spec.strategy == Strategy::Jps));
+        assert!(fleet.iter().any(|t| t.spec.strategy == Strategy::JpsBestMix));
+        assert!(fleet.iter().any(|t| t.weight > 1.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Public-API snapshot: every `pub` item of every workspace crate,
+//! captured in `tests/public_api.txt` and diffed on each run.
+//!
+//! The scan is textual — each source line whose first token is `pub`
+//! (which naturally excludes `pub(crate)` and friends) is recorded as
+//! `<path>: <normalized first line>`. That is deliberately coarse: the
+//! goal is not rustdoc fidelity but a tripwire, so that widening or
+//! shrinking the API surface shows up as a reviewable one-line diff in
+//! the same PR that caused it.
+//!
+//! To accept an intentional change:
+//!
+//! ```text
+//! UPDATE_PUBLIC_API=1 cargo test --test public_api
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/public_api.txt");
+const CRATES: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/crates");
+
+/// Collect `.rs` files under `dir` recursively, sorted for stability.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// One snapshot line per `pub` item: the trimmed first line of the
+/// declaration, with the open brace dropped so body-only reformatting
+/// cannot churn the snapshot.
+fn snapshot() -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut crates: Vec<PathBuf> = std::fs::read_dir(CRATES)
+        .expect("crates dir")
+        .map(|e| e.expect("dir entry").path().join("src"))
+        .filter(|p| p.is_dir())
+        .collect();
+    crates.sort();
+    let mut files = Vec::new();
+    for src in &crates {
+        rust_sources(src, &mut files);
+    }
+    let mut out = String::new();
+    for file in files {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", file.display()));
+        let rel = file
+            .strip_prefix(root)
+            .expect("file under repo root")
+            .display()
+            .to_string()
+            .replace('\\', "/");
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with("pub ") {
+                let decl = t.trim_end_matches('{').trim_end();
+                let _ = writeln!(out, "{rel}: {decl}");
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn public_api_matches_golden_snapshot() {
+    let current = snapshot();
+    if std::env::var_os("UPDATE_PUBLIC_API").is_some() {
+        std::fs::write(GOLDEN, &current).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("tests/public_api.txt missing — run UPDATE_PUBLIC_API=1 cargo test --test public_api");
+    if current == golden {
+        return;
+    }
+    // Show only the changed lines, not two multi-thousand-line blobs.
+    let cur: std::collections::BTreeSet<&str> = current.lines().collect();
+    let old: std::collections::BTreeSet<&str> = golden.lines().collect();
+    let mut diff = String::new();
+    for gone in old.difference(&cur) {
+        let _ = writeln!(diff, "- {gone}");
+    }
+    for new in cur.difference(&old) {
+        let _ = writeln!(diff, "+ {new}");
+    }
+    panic!(
+        "public API surface changed; review the diff below and, if intended, run\n\
+         UPDATE_PUBLIC_API=1 cargo test --test public_api\n\n{diff}"
+    );
+}
