@@ -72,6 +72,21 @@ pub fn monotone_zoo_rate_profiles(setup_ms: f64) -> Vec<RateProfile> {
         .collect()
 }
 
+/// Like [`monotone_zoo_rate_profiles`] but with the suffix costed on
+/// the reference cloud GPU instead of an infinitely fast one — the
+/// fleet the cloud-contention bench and equivalence tests draw tenants
+/// from, since a finite server pool needs nonzero cloud work to
+/// stretch.
+pub fn monotone_zoo_cloud_rate_profiles(setup_ms: f64) -> Vec<RateProfile> {
+    let cloud = CloudModel::Device(DeviceModel::cloud_gtx1080());
+    Model::ALL
+        .iter()
+        .filter_map(|&m| ModelWorkload::zoo(m, setup_ms))
+        .map(|w| RateProfile::evaluate(&w.line, &w.mobile, &cloud, w.setup_ms))
+        .filter(|p| p.check_monotone().is_ok())
+        .collect()
+}
+
 /// Monotone synthetic profile with `k + 1` cut points: `f` strictly
 /// increasing from 0, `g` non-increasing to 0 — the shape real
 /// mobile/uplink profiles take (Fig. 4 of the paper).

@@ -167,6 +167,7 @@ USAGE:
                 [--fault-every <k>] [--seed <s>] [--setup-ms <ms>]
   mcdnn serve --slo [--users <n>] [--bursts <k>] [--overload <x>]
                 [--queue <n>] [--from <Mbps>] [--to <Mbps>] [--seed <s>]
+                [--cloud-servers <C>]
   mcdnn dot     --model <name>
 
 `plan` also accepts --svg <path> (SVG Gantt chart), --trace <path>
@@ -199,6 +200,15 @@ reports deadline hit-rates side by side. Virtual time keeps the output
 deterministic in --seed at any MCDNN_THREADS. --overload scales the
 offered uplink load (2 = twice link capacity); --emit-metrics adds the
 sched.* queue/slack/shed counters to the snapshot.
+
+`serve --slo --cloud-servers C` makes the cloud a finite shared pool of
+C servers under deterministic processor-sharing: each tenant holds a
+static share and its cloud stages stretch accordingly. The run then
+compares three schedulers — fifo, contention-oblivious edf-degrade
+(frontier cuts + equal shares), and edf-degrade with the joint
+cut/share allocator (water-filling + best-response over the bandwidth
+frontier) — and reports the joint-vs-oblivious hit-rate gap. Adds the
+sched.cloud.* counters to --emit-metrics snapshots.
 ";
 
 /// Run the CLI on the given arguments (excluding the program name),
@@ -678,7 +688,16 @@ fn cmd_chaos(flags: &Flags) -> Result<String, CliError> {
 
 /// Rate profiles for every zoo model the JPS theory admits on the
 /// reference platform — the pool both serve modes draw tenants from.
-fn zoo_rate_profiles(setup: f64) -> Vec<mcdnn_partition::RateProfile> {
+/// With `cloud_contended` the suffix is costed on the reference cloud
+/// GPU instead of an infinitely fast one, so a finite server pool has
+/// real work to stretch; without it the profiles (and therefore every
+/// pre-contention output) are byte-identical to earlier releases.
+fn zoo_rate_profiles(setup: f64, cloud_contended: bool) -> Vec<mcdnn_partition::RateProfile> {
+    let cloud = if cloud_contended {
+        CloudModel::Device(DeviceModel::cloud_gtx1080())
+    } else {
+        CloudModel::Negligible
+    };
     Model::ALL
         .iter()
         .filter_map(|&m| m.line().ok())
@@ -686,7 +705,7 @@ fn zoo_rate_profiles(setup: f64) -> Vec<mcdnn_partition::RateProfile> {
             mcdnn_partition::RateProfile::evaluate(
                 &line,
                 &DeviceModel::raspberry_pi4(),
-                &CloudModel::Negligible,
+                &cloud,
                 setup,
             )
         })
@@ -721,7 +740,7 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     }
     // The fleet draws users round-robin from every zoo model whose rate
     // profile the JPS theory admits on the reference platform.
-    let profiles = zoo_rate_profiles(setup);
+    let profiles = zoo_rate_profiles(setup, false);
     let specs = mcdnn_sim::fleet(&profiles, users, &config);
     let cache = std::sync::Arc::new(mcdnn_partition::PlanCache::new());
     let pool =
@@ -784,6 +803,7 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
 fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
     let tenants_n = flags.parse_usize_or("users", 8)?;
     let setup = flags.parse_f64_or("setup-ms", 10.0)?;
+    let cloud_servers = flags.parse_usize_or("cloud-servers", 0)?;
     let config = mcdnn_sim::SloConfig {
         requests_per_tenant: flags.parse_usize_or("bursts", 40)?,
         lo_mbps: flags.parse_f64_or("from", 1.0)?,
@@ -791,6 +811,7 @@ fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
         overload: flags.parse_f64_or("overload", 2.0)?,
         max_queue: flags.parse_usize_or("queue", 64)?,
         seed: flags.parse_u64_or("seed", 0x510_5EED)?,
+        cloud_servers,
         ..mcdnn_sim::SloConfig::default()
     };
     if tenants_n == 0 {
@@ -802,7 +823,10 @@ fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
         mcdnn_obs::set_enabled(true);
         mcdnn_obs::reset();
     }
-    let profiles = zoo_rate_profiles(setup);
+    // A finite pool needs real suffix compute to contend over, so the
+    // zoo is costed on the reference cloud GPU; with no pool the
+    // pre-contention Negligible-cloud profiles keep output byte-stable.
+    let profiles = zoo_rate_profiles(setup, cloud_servers > 0);
     let tenants = mcdnn_sim::slo_fleet(&profiles, tenants_n, &config);
     // Explicit thread count still honours MCDNN_THREADS: worker_threads
     // is the env/hardware resolution the builder would do itself, only
@@ -822,14 +846,41 @@ fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
         config.hi_mbps,
         config.overload,
     );
-    let mut reports = Vec::new();
-    for policy in [mcdnn_sim::SloPolicy::Fifo, mcdnn_sim::SloPolicy::EdfDegrade] {
-        let r = engine
-            .serve_slo(&tenants, &config, policy)
-            .map_err(|e| err(format!("slo serving failed: {e}")))?;
+    if cloud_servers > 0 {
         let _ = writeln!(
             out,
-            "\npolicy {policy}: hit rate {:.1}% ({}/{}), admitted {}, \
+            "cloud pool: {cloud_servers} shared server(s) under deterministic \
+             processor-sharing"
+        );
+    }
+    // FIFO and contention-oblivious EDF always run; a configured pool
+    // adds the joint cut/share allocator as a third column.
+    let mut runs = vec![
+        (mcdnn_sim::SloPolicy::Fifo, config.clone()),
+        (mcdnn_sim::SloPolicy::EdfDegrade, config.clone()),
+    ];
+    if cloud_servers > 0 {
+        runs.push((
+            mcdnn_sim::SloPolicy::EdfDegrade,
+            mcdnn_sim::SloConfig {
+                joint_alloc: true,
+                ..config.clone()
+            },
+        ));
+    }
+    let mut reports = Vec::new();
+    for (policy, cfg) in &runs {
+        let r = engine
+            .serve_slo(&tenants, cfg, *policy)
+            .map_err(|e| err(format!("slo serving failed: {e}")))?;
+        let label = if r.joint_alloc {
+            format!("{policy}+joint")
+        } else {
+            policy.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "\npolicy {label}: hit rate {:.1}% ({}/{}), admitted {}, \
              shed {} (queue {} / infeasible {}), degraded {}",
             r.hit_rate * 100.0,
             r.deadline_hits,
@@ -840,6 +891,13 @@ fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
             r.shed_infeasible,
             r.degraded,
         );
+        if r.cloud_servers > 0 {
+            let _ = writeln!(
+                out,
+                "cloud: {:.1} ms stretched stage time, {} joint cut overrides",
+                r.cloud_busy_ms, r.joint_overrides,
+            );
+        }
         let _ = writeln!(
             out,
             "latency p50/p95/p99: {:.1}/{:.1}/{:.1} ms; digest={:016x}",
@@ -847,16 +905,17 @@ fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
         );
         let _ = writeln!(
             out,
-            "| tenant | model | weight | requests | admitted | shed | degraded | hits | hit % | mean ms | digest |"
+            "| tenant | model | weight | share | requests | admitted | shed | degraded | hits | hit % | mean ms | digest |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|");
         for t in &r.tenants {
             let _ = writeln!(
                 out,
-                "| {} | {} | {:.0} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:016x} |",
+                "| {} | {} | {:.0} | {:.3} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:016x} |",
                 t.id,
                 t.model,
                 t.weight,
+                t.cloud_share,
                 t.requests,
                 t.admitted,
                 t.shed,
@@ -889,6 +948,16 @@ fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
         fifo.hit_rate * 100.0,
         (edf.hit_rate - fifo.hit_rate) * 100.0,
     );
+    if let Some(joint) = reports.get(2) {
+        let _ = writeln!(
+            out,
+            "joint vs oblivious (edf-degrade, {cloud_servers} server(s)): \
+             deadline hit rate {:.1}% vs {:.1}% ({:+.1} pts)",
+            joint.hit_rate * 100.0,
+            edf.hit_rate * 100.0,
+            (joint.hit_rate - edf.hit_rate) * 100.0,
+        );
+    }
     if let Some(path) = emit_metrics {
         std::fs::write(path, mcdnn_obs::snapshot().to_json())
             .map_err(|e| err(format!("writing {path}: {e}")))?;
@@ -1364,6 +1433,58 @@ mod tests {
         assert!(get("sched.deadline_hits") >= 1.0, "{snap}");
         let hists = parsed.get("histograms").expect("histograms object");
         for h in ["sched.queue_depth", "sched.slack_ms", "sched.latency_ms"] {
+            assert!(
+                hists.get(h).and_then(|v| v.get("count")).and_then(|c| c.as_f64())
+                    .unwrap_or(0.0)
+                    >= 1.0,
+                "{h} populated: {snap}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_slo_cloud_servers_adds_joint_run() {
+        let args = [
+            "serve", "--slo", "--users", "6", "--bursts", "12", "--cloud-servers", "2",
+        ];
+        let out = run_str(&args).unwrap();
+        assert!(out.contains("cloud pool: 2 shared server(s)"), "{out}");
+        assert!(out.contains("policy fifo:"), "{out}");
+        assert!(out.contains("policy edf-degrade:"), "{out}");
+        assert!(out.contains("policy edf-degrade+joint:"), "{out}");
+        assert!(out.contains("joint vs oblivious"), "{out}");
+        assert!(out.contains("stretched stage time"), "{out}");
+        assert!(out.contains("| share |"), "{out}");
+        // Virtual time only — byte-identical on re-run.
+        assert_eq!(out, run_str(&args).unwrap(), "cloud runs must be deterministic");
+        // Without a pool there is no joint column and no cloud line.
+        let plain = run_str(&["serve", "--slo", "--users", "6", "--bursts", "12"]).unwrap();
+        assert!(!plain.contains("+joint"), "{plain}");
+        assert!(!plain.contains("cloud pool"), "{plain}");
+    }
+
+    #[test]
+    fn serve_slo_cloud_metrics_export_cloud_counters() {
+        let _gate = METRICS_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("mcdnn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("slo.cloud.metrics.json");
+        let out = run_str(&[
+            "serve", "--slo", "--users", "6", "--bursts", "12", "--cloud-servers", "1",
+            "--emit-metrics", metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("metrics snapshot"));
+        let snap = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = mcdnn_obs::json::parse(&snap).expect("metrics are valid JSON");
+        let counters = parsed.get("counters").expect("counters object");
+        let get = |key: &str| counters.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        // Three runs now: fifo + oblivious edf + joint edf.
+        assert_eq!(get("sched.requests"), 3.0 * 6.0 * 12.0, "{snap}");
+        assert!(get("sched.cloud.requests") >= 1.0, "{snap}");
+        assert!(get("joint.allocations") >= 1.0, "{snap}");
+        let hists = parsed.get("histograms").expect("histograms object");
+        for h in ["sched.cloud.share", "sched.cloud.stage_ms"] {
             assert!(
                 hists.get(h).and_then(|v| v.get("count")).and_then(|c| c.as_f64())
                     .unwrap_or(0.0)

@@ -35,7 +35,7 @@
 //!   executor.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chaos;
 pub mod engine;

@@ -235,6 +235,25 @@ impl RateProfile {
         }
     }
 
+    /// Total cloud compute of `n` jobs under `mix`, ms **at unit server
+    /// speed** — the work a shared cloud server pool must absorb for
+    /// one burst (bandwidth-independent). A tenant holding a fractional
+    /// share `φ` of the pool serves this work in `mix_cloud_ms / φ`
+    /// virtual ms; see [`crate::joint`] for how shares are chosen.
+    pub fn mix_cloud_ms(&self, n: usize, mix: CutMix) -> f64 {
+        match mix {
+            CutMix::Uniform { cut } => n as f64 * self.cloud_ms[cut],
+            CutMix::Mix {
+                prev,
+                star,
+                at_prev,
+            } => {
+                at_prev as f64 * self.cloud_ms[prev]
+                    + (n - at_prev) as f64 * self.cloud_ms[star]
+            }
+        }
+    }
+
     /// `Err` when the profile violates the clustered monotonicity the
     /// JPS theory assumes, for *some* bandwidth in `(0, ∞)`:
     ///
@@ -547,6 +566,15 @@ impl RateFrontier {
     /// range start, so there are `num_pieces()` entries.
     pub fn breakpoints(&self) -> &[f64] {
         &self.starts
+    }
+
+    /// The optimal [`CutMix`] of each piece, aligned with
+    /// [`RateFrontier::breakpoints`]. Collectively these are every cut
+    /// structure that is optimal *somewhere* in the compiled range —
+    /// the candidate set the joint allocator's best-response step
+    /// searches (see [`crate::joint`]).
+    pub fn pieces(&self) -> &[CutMix] {
+        &self.sigs
     }
 
     /// True when `b` lies inside the compiled range.

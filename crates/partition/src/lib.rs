@@ -24,7 +24,7 @@
 //!   kept as the oracle for property tests and the speedup benchmark.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod alg2;
 pub mod baselines;
@@ -37,6 +37,7 @@ pub mod flowtime_aware;
 pub mod frontier;
 pub mod general;
 pub mod heterogeneous;
+pub mod joint;
 pub mod jps;
 pub mod multichannel;
 pub mod plan;
@@ -54,5 +55,6 @@ pub use flowtime_aware::{flowtime_jps_plan, FlowtimePlan};
 pub use frontier::{CutMix, FrontierDecision, PlanCache, RateFrontier, RateProfile};
 pub use general::{general_jps_plan, multipath_cuts, GeneralPlan};
 pub use heterogeneous::{hetero_brute_force, hetero_jps_plan, HeteroPlan, JobGroup};
+pub use joint::{joint_allocate, oblivious_allocation, JointAllocation, JointTenant};
 pub use multichannel::{makespan_multichannel, multichannel_jps_plan};
 pub use plan::{Plan, Strategy};

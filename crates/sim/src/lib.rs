@@ -21,7 +21,7 @@
 //!   (Proposition 4.1), the recurrence, the DES and the executor.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod degrade;
 pub mod des;

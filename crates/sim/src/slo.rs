@@ -19,19 +19,48 @@
 //!
 //! * each tenant's **device** runs its own on-device prefix work (`D`,
 //!   [`RateProfile::mix_mobile_ms`]) in parallel with everyone else;
-//! * one **shared uplink/cloud server** serializes per-burst upload
-//!   occupancy (`U`, [`RateProfile::mix_upload_ms`]) across tenants.
+//! * one **shared uplink** serializes per-burst upload occupancy (`U`,
+//!   [`RateProfile::mix_upload_ms`]) across tenants;
+//! * optionally, a pool of [`SloConfig::cloud_servers`] **shared cloud
+//!   servers** absorbs the suffix compute (`W`,
+//!   [`RateProfile::mix_cloud_ms`]) under deterministic
+//!   processor-sharing: tenant `i` holds a static share `φ_i` of the
+//!   pool for the whole run, so its cloud stage takes `W / φ_i`.
 //!
 //! A request dispatched at time `t` starts its upload at
-//! `max(t, arrival + D)` and completes `U` later; the server is busy
-//! until that completion. A mobile-only rung has `U = 0` and never
-//! occupies the server. Deeper ladder rungs replan at a pessimistic
-//! bandwidth, trading device work (`D` grows) for uplink bytes (`U`
-//! shrinks) — under contention that finishes the request *and* frees
-//! the server sooner, which is exactly why degrading one request can
-//! rescue several deadlines behind it. Rungs price device work from the
+//! `max(t, arrival + D)`, finishes uploading `U` later (the uplink is
+//! busy until then), and completes after a further `W / φ` of cloud
+//! compute. With `cloud_servers == 0` (the default) the cloud pool is
+//! modelled as infinitely fast — the pre-contention behaviour, bit for
+//! bit. A mobile-only rung has `U = W = 0` and touches neither shared
+//! resource. Deeper ladder rungs replan at a pessimistic bandwidth,
+//! trading device work (`D` grows) for uplink bytes (`U` shrinks) —
+//! under contention that finishes the request *and* frees the server
+//! sooner, which is exactly why degrading one request can rescue
+//! several deadlines behind it. Rungs price device work from the
 //! request's arrival: the rung is chosen at dispatch, so this is a
 //! virtual-time idealization, not a causal executor.
+//!
+//! # Joint cut/share allocation
+//!
+//! How the shares `φ_i` are chosen is the contention-oblivious-vs-joint
+//! experiment of this module:
+//!
+//! * **oblivious** ([`SloConfig::joint_alloc`] `= false`): every tenant
+//!   keeps its frontier cut and the pool is split equally — what a
+//!   fleet of per-tenant planners unaware of each other would do;
+//! * **joint** (`joint_alloc = true`): shares come from
+//!   [`joint_allocate`] (water-filling + best-response over each
+//!   tenant's [`RateFrontier::pieces`]) at the tenant's representative
+//!   bandwidth, and the Normal rung at dispatch re-runs the same
+//!   best-response per request — the cheapest cut structure *under the
+//!   tenant's actual share*, at the request's actual bandwidth
+//!   (counted in [`SloReport::joint_overrides`] when it differs from
+//!   the contention-oblivious frontier cut).
+//!
+//! Every rung of the ladder walk prices contention honestly (`W / φ`
+//! is part of the projected completion), so the EdfDegrade invariant
+//! — admitted ⇒ hit — survives the cloud stage.
 //!
 //! # Determinism contract
 //!
@@ -53,7 +82,9 @@
 
 use std::sync::Arc;
 
-use mcdnn_partition::{CutMix, PlanCache, PlanError, RateFrontier, RateProfile};
+use mcdnn_partition::{
+    joint_allocate, CutMix, JointTenant, PlanCache, PlanError, RateFrontier, RateProfile,
+};
 use mcdnn_rng::Rng;
 use mcdnn_runtime::WorkerPool;
 
@@ -220,6 +251,14 @@ pub struct SloConfig {
     pub spec: SloSpec,
     /// Seed for fleet generation; per-tenant streams derive from it.
     pub seed: u64,
+    /// Shared cloud compute servers the fleet contends for. `0` (the
+    /// default) models an infinitely fast cloud — the pre-contention
+    /// behaviour, byte-identical digests included.
+    pub cloud_servers: usize,
+    /// Choose cuts and cloud shares jointly via
+    /// [`joint_allocate`] instead of the contention-oblivious
+    /// "frontier cut + equal split". Requires `cloud_servers >= 1`.
+    pub joint_alloc: bool,
 }
 
 impl Default for SloConfig {
@@ -232,6 +271,8 @@ impl Default for SloConfig {
             max_queue: 64,
             spec: SloSpec::default(),
             seed: 0x510_5EED,
+            cloud_servers: 0,
+            joint_alloc: false,
         }
     }
 }
@@ -271,6 +312,11 @@ impl SloConfig {
                     what: "class slack_factor must be > 0 and weights >= 0",
                 });
             }
+        }
+        if self.joint_alloc && self.cloud_servers == 0 {
+            return Err(AdmitError::BadConfig {
+                what: "joint_alloc requires cloud_servers >= 1",
+            });
         }
         Ok(())
     }
@@ -368,7 +414,7 @@ const LADDER: [(LadderLevel, f64); 4] = [
 ];
 
 /// Price one rung for a request at actual bandwidth `b`: total device
-/// ms and total uplink-occupancy ms.
+/// ms, total uplink-occupancy ms, and total unit-speed cloud ms.
 fn rung_cost(
     frontier: &RateFrontier,
     n_jobs: usize,
@@ -376,17 +422,18 @@ fn rung_cost(
     b: f64,
     lo: f64,
     hi: f64,
-) -> (f64, f64) {
+) -> (f64, f64, f64) {
     let profile = frontier.profile();
     if level_frac == 0.0 {
         let k = profile.k();
         let d = profile.mix_mobile_ms(n_jobs, CutMix::Uniform { cut: k });
-        return (d, 0.0);
+        return (d, 0.0, 0.0);
     }
     let mix = frontier.decide_at((b * level_frac).clamp(lo, hi)).mix;
     let d = profile.mix_mobile_ms(n_jobs, mix);
     let u = profile.mix_upload_ms(n_jobs, mix, b);
-    (d, u)
+    let w = profile.mix_cloud_ms(n_jobs, mix);
+    (d, u, w)
 }
 
 /// Generate one tenant's request stream. Pure in `(tenant, config)`:
@@ -426,8 +473,17 @@ fn tenant_requests(
         bandwidth = (bandwidth * step).clamp(config.lo_mbps, config.hi_mbps);
         let class = config.spec.sample(&mut rng);
         let mix = frontier.decide_at(bandwidth).mix;
+        // Nominal service is contention-free: cloud work counts at unit
+        // server speed (φ = 1) when a pool exists at all, so deadlines
+        // stay achievable unloaded and identical across share policies.
+        let cloud_nominal = if config.cloud_servers > 0 {
+            spec.profile.mix_cloud_ms(spec.n_jobs, mix)
+        } else {
+            0.0
+        };
         let nominal = spec.profile.mix_mobile_ms(spec.n_jobs, mix)
-            + spec.profile.mix_upload_ms(spec.n_jobs, mix, bandwidth);
+            + spec.profile.mix_upload_ms(spec.n_jobs, mix, bandwidth)
+            + cloud_nominal;
         let slack = config.spec.classes[class].0.slack_factor;
         out.push(SloRequest {
             tenant: spec.id,
@@ -472,6 +528,54 @@ fn pick_next(
     best
 }
 
+/// Pick every tenant's static cloud share for the run, indexed by
+/// tenant id. With no pool ([`SloConfig::cloud_servers`] `== 0`) all
+/// shares are zero and never consulted. Oblivious mode splits the pool
+/// equally (capped at one server-equivalent each); joint mode calls
+/// [`joint_allocate`] at each tenant's representative bandwidth (the
+/// geometric mean of its generated stream — a pure function of the
+/// streams, so pooled and serial runs agree bit for bit).
+fn cloud_share_plan(
+    streams: &[(Vec<SloRequest>, Arc<RateFrontier>)],
+    tenants: &[SloTenant],
+    config: &SloConfig,
+) -> Vec<f64> {
+    let mut shares = vec![0.0f64; tenants.len()];
+    if config.cloud_servers == 0 {
+        return shares;
+    }
+    if config.joint_alloc {
+        let joint_tenants: Vec<JointTenant<'_>> = streams
+            .iter()
+            .zip(tenants)
+            .map(|((stream, frontier), t)| {
+                let sum_ln: f64 = stream.iter().map(|r| r.bandwidth_mbps.ln()).sum();
+                let rep = (sum_ln / stream.len() as f64)
+                    .exp()
+                    .clamp(config.lo_mbps, config.hi_mbps);
+                JointTenant {
+                    frontier,
+                    n_jobs: t.spec.n_jobs,
+                    bandwidth_mbps: rep,
+                }
+            })
+            .collect();
+        let alloc = joint_allocate(&joint_tenants, config.cloud_servers as f64);
+        for (i, t) in tenants.iter().enumerate() {
+            shares[t.spec.id] = alloc.shares[i];
+        }
+    } else {
+        let phi = (config.cloud_servers as f64 / tenants.len() as f64).min(1.0);
+        for t in tenants {
+            shares[t.spec.id] = phi;
+        }
+    }
+    for &s in &shares {
+        mcdnn_obs::observe_ms("sched.cloud.share", s);
+    }
+    shares
+}
+
 /// Run the virtual-time scheduling loop over the merged request
 /// streams. Serial by construction — this *is* the deterministic core.
 fn schedule(
@@ -506,6 +610,8 @@ fn schedule(
     };
     let frontiers: Vec<&Arc<RateFrontier>> = streams.iter().map(|(_, f)| f).collect();
 
+    let shares = cloud_share_plan(streams, tenants, config);
+
     let mut service = vec![0.0f64; tenants.len()];
     let mut total_service = 0.0f64;
     let mut outcomes: Vec<Outcome> = Vec::with_capacity(all.len());
@@ -515,6 +621,8 @@ fn schedule(
     let mut shed_queue_full = 0u64;
     let mut shed_infeasible = 0u64;
     let mut degraded = 0u64;
+    let mut cloud_busy_ms = 0.0f64;
+    let mut joint_overrides = 0u64;
 
     let admit = |queue: &mut Vec<SloRequest>, r: SloRequest, shed_full: &mut u64| {
         if policy == SloPolicy::EdfDegrade && queue.len() >= config.max_queue {
@@ -567,12 +675,27 @@ fn schedule(
         let r = queue.remove(idx);
         mcdnn_obs::observe_ms("sched.slack_ms", (r.deadline_ms - t).max(0.0));
 
-        // Walk the ladder: cheapest rung whose projected completion
-        // fits the deadline. FIFO always runs Normal, deadline or not.
+        // Walk the ladder: cheapest rung whose projected completion —
+        // cloud contention included — fits the deadline. FIFO always
+        // runs the Normal rung, deadline or not.
         let frontier = frontiers[r.tenant];
-        let mut chosen: Option<(LadderLevel, f64, f64, f64)> = None;
+        let phi = shares[r.tenant];
+        // Stretched cloud-stage time under this tenant's static share;
+        // a share of zero makes cloud-bearing rungs unservable, which
+        // steers dispatch toward zero-cloud structures.
+        let cloud_time = |w: f64| -> f64 {
+            if config.cloud_servers == 0 || w <= 0.0 {
+                0.0
+            } else if phi > 0.0 {
+                w / phi
+            } else {
+                f64::INFINITY
+            }
+        };
+        // (level, device, uplink, upload-end, completion, overridden)
+        let mut chosen: Option<(LadderLevel, f64, f64, f64, f64, bool)> = None;
         for (level, frac) in LADDER {
-            let (d, u) = rung_cost(
+            let (mut d, mut u, mut w) = rung_cost(
                 frontier,
                 n_jobs[r.tenant],
                 frac,
@@ -580,17 +703,49 @@ fn schedule(
                 config.lo_mbps,
                 config.hi_mbps,
             );
-            let completion = t.max(r.arrival_ms + d) + u;
+            let mut overridden = false;
+            if level == LadderLevel::Normal && config.joint_alloc && config.cloud_servers > 0 {
+                // Joint dispatch: re-run the allocator's best-response
+                // step per request — cheapest cut structure among the
+                // frontier's pieces (plus local-only) priced at the
+                // actual bandwidth under the tenant's actual share.
+                let profile = frontier.profile();
+                let nj = n_jobs[r.tenant];
+                let local = CutMix::Uniform { cut: profile.k() };
+                let mut best = t.max(r.arrival_ms + d) + u + cloud_time(w);
+                for &mix in frontier.pieces().iter().chain(std::iter::once(&local)) {
+                    let dd = profile.mix_mobile_ms(nj, mix);
+                    let uu = profile.mix_upload_ms(nj, mix, r.bandwidth_mbps);
+                    let ww = profile.mix_cloud_ms(nj, mix);
+                    let cc = t.max(r.arrival_ms + dd) + uu + cloud_time(ww);
+                    if cc < best {
+                        best = cc;
+                        (d, u, w) = (dd, uu, ww);
+                        overridden = true;
+                    }
+                }
+            }
+            let upload_end = t.max(r.arrival_ms + d) + u;
+            let completion = upload_end + cloud_time(w);
             if policy == SloPolicy::Fifo || completion <= r.deadline_ms {
-                chosen = Some((level, d, u, completion));
+                chosen = Some((level, d, u, upload_end, completion, overridden));
                 break;
             }
         }
 
         match chosen {
-            Some((level, d, u, completion)) => {
+            Some((level, d, u, upload_end, completion, overridden)) => {
                 if u > 0.0 {
-                    server_free = completion;
+                    server_free = upload_end;
+                }
+                if completion > upload_end {
+                    cloud_busy_ms += completion - upload_end;
+                    mcdnn_obs::counter_add("sched.cloud.requests", 1);
+                    mcdnn_obs::observe_ms("sched.cloud.stage_ms", completion - upload_end);
+                }
+                if overridden {
+                    joint_overrides += 1;
+                    mcdnn_obs::counter_add("sched.cloud.joint_overrides", 1);
                 }
                 service[r.tenant] += d + u;
                 total_service += d + u;
@@ -641,7 +796,23 @@ fn schedule(
     }
     mcdnn_obs::counter_add("sched.requests", all.len() as u64);
 
-    summarize(outcomes, tenants, config, policy, shed_queue_full, shed_infeasible, degraded)
+    let tallies = Tallies {
+        shed_queue_full,
+        shed_infeasible,
+        degraded,
+        cloud_busy_ms,
+        joint_overrides,
+    };
+    summarize(outcomes, tenants, config, policy, &shares, tallies)
+}
+
+/// Loop-level accounting carried from [`schedule`] into [`summarize`].
+struct Tallies {
+    shed_queue_full: u64,
+    shed_infeasible: u64,
+    degraded: u64,
+    cloud_busy_ms: f64,
+    joint_overrides: u64,
 }
 
 /// Nearest-rank percentile over an ascending slice; 0 when empty.
@@ -658,9 +829,8 @@ fn summarize(
     tenants: &[SloTenant],
     config: &SloConfig,
     policy: SloPolicy,
-    shed_queue_full: u64,
-    shed_infeasible: u64,
-    degraded: u64,
+    shares: &[f64],
+    tallies: Tallies,
 ) -> SloReport {
     outcomes.sort_by(|a, b| a.tenant.cmp(&b.tenant).then(a.seq.cmp(&b.seq)));
 
@@ -670,6 +840,7 @@ fn summarize(
             id: t.spec.id,
             model: t.spec.profile.name().to_string(),
             weight: t.weight,
+            cloud_share: shares[t.spec.id],
             requests: 0,
             admitted: 0,
             shed: 0,
@@ -748,11 +919,15 @@ fn summarize(
     let total = outcomes.len() as u64;
     SloReport {
         policy,
+        cloud_servers: config.cloud_servers,
+        joint_alloc: config.joint_alloc,
         total_requests: total,
         admitted,
-        shed_queue_full,
-        shed_infeasible,
-        degraded,
+        shed_queue_full: tallies.shed_queue_full,
+        shed_infeasible: tallies.shed_infeasible,
+        degraded: tallies.degraded,
+        cloud_busy_ms: tallies.cloud_busy_ms,
+        joint_overrides: tallies.joint_overrides,
         deadline_hits: hits,
         hit_rate: if total == 0 {
             0.0
@@ -777,6 +952,10 @@ pub struct TenantSloSummary {
     pub model: String,
     /// WFQ weight.
     pub weight: f64,
+    /// Static cloud-pool share `φ` the tenant held for the run; `0`
+    /// when no pool is configured or the joint allocator kept the
+    /// tenant fully on-device.
+    pub cloud_share: f64,
     /// Requests offered.
     pub requests: u64,
     /// Requests that ran (any rung).
@@ -813,6 +992,10 @@ pub struct ClassSummary {
 pub struct SloReport {
     /// Queue discipline that produced this report.
     pub policy: SloPolicy,
+    /// Cloud pool size the run contended for (0 = uncontended model).
+    pub cloud_servers: usize,
+    /// Whether shares and Normal-rung cuts came from [`joint_allocate`].
+    pub joint_alloc: bool,
     /// Requests offered across the fleet.
     pub total_requests: u64,
     /// Requests that ran (any rung).
@@ -823,6 +1006,12 @@ pub struct SloReport {
     pub shed_infeasible: u64,
     /// Admitted requests that ran below the Normal rung.
     pub degraded: u64,
+    /// Total stretched cloud-stage time served, ms (`Σ W / φ` over
+    /// admitted cloud-bearing requests).
+    pub cloud_busy_ms: f64,
+    /// Normal-rung dispatches where joint pricing moved the cut off
+    /// the contention-oblivious frontier choice.
+    pub joint_overrides: u64,
     /// Requests that met their deadline.
     pub deadline_hits: u64,
     /// `deadline_hits / total_requests` (sheds count as misses).
@@ -922,6 +1111,29 @@ mod tests {
             overload: 2.0,
             ..SloConfig::default()
         }
+    }
+
+    /// Profiles whose suffixes carry real cloud compute, so a finite
+    /// pool has something to contend over.
+    fn cloudy_profiles() -> Vec<RateProfile> {
+        vec![
+            RateProfile::from_parts(
+                "gamma",
+                vec![0.0, 4.0, 7.0, 20.0],
+                vec![120_000, 60_000, 20_000, 0],
+                2.0,
+                Some(vec![9.0, 6.0, 3.0, 0.0]),
+            )
+            .unwrap(),
+            RateProfile::from_parts(
+                "delta",
+                vec![0.0, 2.0, 9.0, 11.0, 15.0],
+                vec![200_000, 90_000, 40_000, 10_000, 0],
+                1.0,
+                Some(vec![12.0, 10.0, 5.0, 2.0, 0.0]),
+            )
+            .unwrap(),
+        ]
     }
 
     #[test]
@@ -1067,6 +1279,154 @@ mod tests {
     }
 
     #[test]
+    fn zero_cloud_servers_ignores_cloud_profiles_entirely() {
+        // C=0 models an infinitely fast cloud: even cloud-heavy
+        // profiles schedule exactly as they did pre-contention, so the
+        // report matches one from the same profiles with cloud stripped.
+        let config = test_config();
+        let fleet_cloudy = slo_fleet(&cloudy_profiles(), 6, &config);
+        let stripped: Vec<RateProfile> = cloudy_profiles()
+            .iter()
+            .map(|p| {
+                RateProfile::from_parts(
+                    p.name().to_string(),
+                    (0..=p.k()).map(|l| p.mobile_ms(l)).collect(),
+                    (0..=p.k()).map(|l| p.bytes(l)).collect(),
+                    p.setup_ms(),
+                    None,
+                )
+                .unwrap()
+            })
+            .collect();
+        let fleet_plain = slo_fleet(&stripped, 6, &config);
+        let cache = PlanCache::new();
+        for policy in [SloPolicy::Fifo, SloPolicy::EdfDegrade] {
+            let a = serve_slo_serial(&cache, &fleet_cloudy, &config, policy).unwrap();
+            let b = serve_slo_serial(&cache, &fleet_plain, &config, policy).unwrap();
+            assert_eq!(a.digest, b.digest, "{policy}: C=0 must ignore cloud work");
+            assert_eq!(a.cloud_busy_ms, 0.0);
+            assert_eq!(a.joint_overrides, 0);
+        }
+    }
+
+    #[test]
+    fn contention_stretches_cloud_stages_and_relaxes_with_capacity() {
+        // Under FIFO the dispatch sequence is independent of the pool
+        // size (the uplink frees at upload-end, which φ never touches),
+        // so per-request completions shrink pointwise as C grows: hit
+        // rate is monotone and cloud busy time scales exactly with φ.
+        let config = SloConfig {
+            cloud_servers: 1,
+            ..test_config()
+        };
+        let fleet = slo_fleet(&cloudy_profiles(), 8, &config);
+        let cache = PlanCache::new();
+        let tight = serve_slo_serial(&cache, &fleet, &config, SloPolicy::Fifo).unwrap();
+        assert!(tight.cloud_busy_ms > 0.0, "C=1 must route cloud work");
+        let roomy_cfg = SloConfig {
+            cloud_servers: 8,
+            ..test_config()
+        };
+        let roomy = serve_slo_serial(&cache, &fleet, &roomy_cfg, SloPolicy::Fifo).unwrap();
+        assert!(
+            roomy.hit_rate >= tight.hit_rate,
+            "more servers cannot hurt FIFO: C=8 {:.3} vs C=1 {:.3}",
+            roomy.hit_rate,
+            tight.hit_rate
+        );
+        // φ goes 1/8 -> 1, so the total stretched stage time is 8x less.
+        assert!(
+            (tight.cloud_busy_ms - 8.0 * roomy.cloud_busy_ms).abs() <= 1e-6 * tight.cloud_busy_ms,
+            "stage stretch must scale with the share: {} vs {}",
+            tight.cloud_busy_ms,
+            roomy.cloud_busy_ms
+        );
+        // The ladder responds to the same squeeze: EdfDegrade at C=1
+        // degrades and still keeps its admitted ⇒ hit invariant.
+        let edf = serve_slo_serial(&cache, &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        assert!(edf.degraded > 0, "C=1 must exercise the ladder");
+        assert_eq!(edf.deadline_hits, edf.admitted);
+    }
+
+    #[test]
+    fn joint_allocation_beats_oblivious_under_contention() {
+        let oblivious_cfg = SloConfig {
+            cloud_servers: 1,
+            ..test_config()
+        };
+        let joint_cfg = SloConfig {
+            joint_alloc: true,
+            ..oblivious_cfg.clone()
+        };
+        let fleet = slo_fleet(&cloudy_profiles(), 10, &oblivious_cfg);
+        let cache = PlanCache::new();
+        let obl = serve_slo_serial(&cache, &fleet, &oblivious_cfg, SloPolicy::EdfDegrade).unwrap();
+        let joint = serve_slo_serial(&cache, &fleet, &joint_cfg, SloPolicy::EdfDegrade).unwrap();
+        assert!(
+            joint.hit_rate > obl.hit_rate,
+            "joint {:.3} must beat oblivious {:.3} at C=1",
+            joint.hit_rate,
+            obl.hit_rate
+        );
+        assert!(
+            joint.joint_overrides > 0,
+            "scarce capacity must move some Normal-rung cuts"
+        );
+        let total_share: f64 = joint.tenants.iter().map(|t| t.cloud_share).sum();
+        assert!(total_share <= 1.0 + 1e-9, "shares exceed the pool");
+    }
+
+    #[test]
+    fn pooled_equals_serial_with_cloud_contention() {
+        let config = SloConfig {
+            cloud_servers: 2,
+            joint_alloc: true,
+            ..test_config()
+        };
+        let fleet = slo_fleet(&cloudy_profiles(), 8, &config);
+        let serial_cache = PlanCache::with_shards(1);
+        let serial =
+            serve_slo_serial(&serial_cache, &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let cache = Arc::new(PlanCache::new());
+            let pooled = serve_slo(&pool, &cache, &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+            assert_eq!(serial, pooled, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cloud_counters_accumulate() {
+        mcdnn_obs::set_enabled(true);
+        // Oblivious FIFO: every tenant holds φ = C/N and always runs
+        // the Normal frontier cut, so cloud-bearing dispatches are
+        // guaranteed whenever decide_at offloads at all.
+        let config = SloConfig {
+            cloud_servers: 2,
+            ..test_config()
+        };
+        let fleet = slo_fleet(&cloudy_profiles(), 6, &config);
+        let cache = PlanCache::new();
+        let req0 = mcdnn_obs::counter_value("sched.cloud.requests");
+        let r = serve_slo_serial(&cache, &fleet, &config, SloPolicy::Fifo).unwrap();
+        assert!(r.cloud_busy_ms > 0.0, "fixture must offload somewhere");
+        assert!(
+            mcdnn_obs::counter_value("sched.cloud.requests") > req0,
+            "cloud-bearing dispatches must count"
+        );
+        let joint_cfg = SloConfig {
+            joint_alloc: true,
+            ..config
+        };
+        let ovr0 = mcdnn_obs::counter_value("sched.cloud.joint_overrides");
+        let j = serve_slo_serial(&cache, &fleet, &joint_cfg, SloPolicy::EdfDegrade).unwrap();
+        assert_eq!(
+            mcdnn_obs::counter_value("sched.cloud.joint_overrides") - ovr0,
+            j.joint_overrides
+        );
+    }
+
+    #[test]
     fn config_validation_rejects_nonsense() {
         let cache = PlanCache::new();
         let fleet = slo_fleet(&test_profiles(), 2, &SloConfig::default());
@@ -1081,6 +1441,15 @@ mod tests {
         assert!(matches!(
             serve_slo_serial(&cache, &[], &SloConfig::default(), SloPolicy::Fifo),
             Err(AdmitError::EmptyFleet)
+        ));
+        let joint_without_pool = SloConfig {
+            joint_alloc: true,
+            cloud_servers: 0,
+            ..SloConfig::default()
+        };
+        assert!(matches!(
+            serve_slo_serial(&cache, &fleet, &joint_without_pool, SloPolicy::Fifo),
+            Err(AdmitError::BadConfig { .. })
         ));
         let e = AdmitError::from(PlanError::NonMonotoneF { at: 1 });
         assert!(std::error::Error::source(&e).is_some());
