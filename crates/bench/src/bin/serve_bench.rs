@@ -84,9 +84,15 @@ fn main() {
     let cold_hit_rate = rate(hit1 - hit0, miss1 - miss0);
     let steady_hit_rate = rate(hit2 - hit1, miss2 - miss1);
     let steady_state_all_hits = miss2 == miss1;
+    // The per-thread hot memo must actually absorb repeat fetches at
+    // fleet size — a zero here means every lookup fell through to a
+    // shard lock (the direct-mapped table thrashed, as it did when it
+    // held only 8 slots).
     let memo_hits = mcdnn_obs::counter_value("frontier.shard.memo_hits");
+    let cache_memo_hits_positive = memo_hits > 0;
     println!(
-        "cache: cold hit rate {:.2}, steady-state hit rate {:.2} ({} entries, {} shards)",
+        "cache: cold hit rate {:.2}, steady-state hit rate {:.2} ({} entries, {} shards), \
+         {memo_hits} thread-local memo hits",
         cold_hit_rate,
         steady_hit_rate,
         shared_cache.len(),
@@ -184,6 +190,7 @@ fn main() {
          \"cache_cold_hit_rate\": {cold_hit_rate:.4},\n  \"cache_steady_hit_rate\": {steady_hit_rate:.4},\n  \
          \"steady_state_all_hits\": {steady_state_all_hits},\n  \
          \"cache_memo_hits_total\": {memo_hits},\n  \
+         \"cache_memo_hits_positive\": {cache_memo_hits_positive},\n  \
          \"fleet_digest\": \"{:#018x}\"\n}}\n",
         if quick { " -- --quick" } else { "" },
         profiles.len(),
@@ -204,6 +211,10 @@ fn main() {
     assert!(
         scaling_target_met,
         "aggregate jobs/sec scaling {scaling_factor:.2}x below the {SCALING_TARGET:.1}x target"
+    );
+    assert!(
+        cache_memo_hits_positive,
+        "thread-local frontier memo never hit at fleet size {users} — direct-mapped slots thrashing"
     );
 }
 

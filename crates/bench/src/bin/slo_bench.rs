@@ -20,6 +20,14 @@
 //! 3. **Overload sweep** — hit rates for both policies from an
 //!    underloaded fleet (0.5x) to heavy saturation (4x), showing where
 //!    admission control starts paying for itself.
+//! 4. **Dispatch-path throughput sweep** — the indexed EDF/WFQ
+//!    dispatcher (heaps + rung-pricing memo) against the linear-scan
+//!    reference across queue depths (1x–16x overload) and fleet sizes,
+//!    measured over the scheduling loop alone on warm [`SloArena`]s.
+//!    Every cell must produce the **same outcome digest** in both
+//!    modes (`dispatch_bit_identical`), and the deepest-queue cell must
+//!    clear a ≥5x speedup (`dispatch_speedup_target_met`) with a warm
+//!    pricing memo (`price_memo_hits_positive`).
 //!
 //! Every boolean flag in the JSON is asserted `true`, so a `false`
 //! anywhere fails the run (CI also greps the JSON for `: false`).
@@ -35,9 +43,47 @@ use mcdnn_bench::banner;
 use mcdnn_bench::workload::{monotone_zoo_rate_profiles, SETUP_MS};
 use mcdnn_partition::PlanCache;
 use mcdnn_runtime::WorkerPool;
-use mcdnn_sim::{serve_slo, serve_slo_serial, slo_fleet, SloConfig, SloPolicy, SloReport};
+use mcdnn_sim::{
+    serve_slo, serve_slo_digest_in, serve_slo_serial, serve_slo_serial_with, slo_fleet,
+    DispatchMode, SloArena, SloConfig, SloPolicy, SloReport,
+};
 
 const POOL_WORKERS: usize = 8;
+
+/// One cell of the dispatch-throughput sweep.
+struct DispatchCell {
+    tenants: usize,
+    overload: f64,
+    requests: u64,
+    reference_rps: f64,
+    indexed_rps: f64,
+    speedup: f64,
+    memo_hits: u64,
+    heap_stale: u64,
+    digest_match: bool,
+}
+
+/// Best-of-three scheduling-loop time for one dispatch mode, plus the
+/// digest and the final run's stats. The arena stays warm across the
+/// timed runs, so the loop is measured without buffer churn.
+fn time_mode(
+    arena: &mut SloArena,
+    cache: &PlanCache,
+    fleet: &[mcdnn_sim::SloTenant],
+    config: &SloConfig,
+    mode: DispatchMode,
+) -> (u64, u64, mcdnn_sim::DispatchStats) {
+    let mut digest = 0u64;
+    let mut best_ns = u64::MAX;
+    let mut stats = arena.stats();
+    for _ in 0..3 {
+        digest = serve_slo_digest_in(arena, cache, fleet, config, SloPolicy::EdfDegrade, mode)
+            .expect("fleet serves");
+        stats = arena.stats();
+        best_ns = best_ns.min(stats.schedule_ns.max(1));
+    }
+    (digest, best_ns, stats)
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -70,10 +116,25 @@ fn main() {
     let edf =
         serve_slo(&pool, &cache, &fleet, &config, SloPolicy::EdfDegrade).expect("edf serves");
     let pool_wall_ms = started.elapsed().as_secs_f64() * 1e3;
-    let fifo_serial =
-        serve_slo_serial(&serial_cache, &fleet, &config, SloPolicy::Fifo).expect("fifo serves");
-    let edf_serial = serve_slo_serial(&serial_cache, &fleet, &config, SloPolicy::EdfDegrade)
-        .expect("edf serves");
+    // Serial reference runs use the pre-overhaul linear-scan dispatcher,
+    // so this equality spans both the worker pool AND the dispatch-mode
+    // boundary: pooled-indexed must equal serial-reference byte for byte.
+    let fifo_serial = serve_slo_serial_with(
+        &serial_cache,
+        &fleet,
+        &config,
+        SloPolicy::Fifo,
+        DispatchMode::Reference,
+    )
+    .expect("fifo serves");
+    let edf_serial = serve_slo_serial_with(
+        &serial_cache,
+        &fleet,
+        &config,
+        SloPolicy::EdfDegrade,
+        DispatchMode::Reference,
+    )
+    .expect("edf serves");
     let pooled_bit_identical = fifo == fifo_serial && edf == edf_serial;
     let hit_rate_improved = edf.hit_rate > fifo.hit_rate;
     let p99_improved = edf.p99_latency_ms < fifo.p99_latency_ms;
@@ -123,6 +184,82 @@ fn main() {
         sweep.push((overload, f, e));
     }
 
+    // 4. Dispatch-path throughput: indexed vs reference across queue
+    // depths. Large max_queue so deep overload actually builds deep
+    // queues instead of shedding at admission.
+    let (sweep_tenants, sweep_overloads, sweep_requests, sweep_max_queue): (
+        &[usize],
+        &[f64],
+        usize,
+        usize,
+    ) = if quick {
+        (&[24, 128], &[1.0, 4.0, 16.0], 200, 4096)
+    } else {
+        (&[24, 96, 192], &[1.0, 2.0, 4.0, 8.0, 16.0], 200, 4096)
+    };
+    println!(
+        "dispatch sweep: tenants {sweep_tenants:?} x overload {sweep_overloads:?}, \
+         {sweep_requests} requests/tenant, max_queue {sweep_max_queue}"
+    );
+    let mut cells: Vec<DispatchCell> = Vec::new();
+    let mut ref_arena = SloArena::new();
+    let mut idx_arena = SloArena::new();
+    // Time the dispatch path itself, not the observability registry:
+    // per-request observe calls cost the same in both modes and would
+    // only compress the measured ratio.
+    mcdnn_obs::set_enabled(false);
+    for &t in sweep_tenants {
+        for &overload in sweep_overloads {
+            let c = SloConfig {
+                overload,
+                requests_per_tenant: sweep_requests,
+                max_queue: sweep_max_queue,
+                ..config.clone()
+            };
+            let f = slo_fleet(&profiles, t, &c);
+            let (ref_digest, ref_ns, _) =
+                time_mode(&mut ref_arena, &serial_cache, &f, &c, DispatchMode::Reference);
+            let (idx_digest, idx_ns, stats) =
+                time_mode(&mut idx_arena, &serial_cache, &f, &c, DispatchMode::Indexed);
+            let requests = stats.requests;
+            let cell = DispatchCell {
+                tenants: t,
+                overload,
+                requests,
+                reference_rps: requests as f64 / (ref_ns as f64 / 1e9),
+                indexed_rps: requests as f64 / (idx_ns as f64 / 1e9),
+                speedup: ref_ns as f64 / idx_ns as f64,
+                memo_hits: stats.memo_hits,
+                heap_stale: stats.heap_stale,
+                digest_match: ref_digest == idx_digest,
+            };
+            println!(
+                "  {t:3} tenants @ {overload:4.1}x: reference {:9.0} req/s, \
+                 indexed {:9.0} req/s, speedup {:5.1}x, digests match: {}",
+                cell.reference_rps,
+                cell.indexed_rps,
+                cell.speedup,
+                yn(cell.digest_match),
+            );
+            cells.push(cell);
+        }
+    }
+    mcdnn_obs::set_enabled(true);
+    let deepest = cells.last().expect("sweep is non-empty");
+    let dispatch_bit_identical = cells.iter().all(|c| c.digest_match);
+    let dispatch_speedup_target_met = deepest.speedup >= 5.0;
+    let price_memo_hits_positive = cells.iter().all(|c| c.memo_hits > 0);
+    println!(
+        "deepest cell ({} tenants @ {:.0}x): {:.1}x speedup (target >= 5x: {}), \
+         memo hits {} / stale pops {}",
+        deepest.tenants,
+        deepest.overload,
+        deepest.speedup,
+        yn(dispatch_speedup_target_met),
+        deepest.memo_hits,
+        deepest.heap_stale,
+    );
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slo.json");
     let sweep_rows: Vec<String> = sweep
         .iter()
@@ -137,6 +274,25 @@ fn main() {
             )
         })
         .collect();
+    let cell_rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"tenants\": {}, \"overload\": {:.1}, \"requests\": {}, \
+                 \"reference_rps\": {:.0}, \"indexed_rps\": {:.0}, \"speedup\": {:.2}, \
+                 \"memo_hits\": {}, \"heap_stale\": {}, \"digest_match\": {}}}",
+                c.tenants,
+                c.overload,
+                c.requests,
+                c.reference_rps,
+                c.indexed_rps,
+                c.speedup,
+                c.memo_hits,
+                c.heap_stale,
+                c.digest_match,
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"generated_by\": \"cargo run -p mcdnn-bench --release --bin slo_bench{}\",\n  \
          \"tenants\": {tenants},\n  \"requests_per_tenant\": {requests},\n  \
@@ -147,13 +303,22 @@ fn main() {
          \"p99_improved\": {p99_improved},\n  \
          \"pool_workers\": {POOL_WORKERS},\n  \"pool_wall_ms\": {pool_wall_ms:.1},\n  \
          \"pooled_bit_identical\": {pooled_bit_identical},\n  \
-         \"overload_sweep\": [\n{}\n  ]\n}}\n",
+         \"overload_sweep\": [\n{}\n  ],\n  \
+         \"dispatch_sweep\": [\n{}\n  ],\n  \
+         \"dispatch_deepest_speedup\": {:.2},\n  \
+         \"dispatch_deepest_indexed_rps\": {:.0},\n  \
+         \"dispatch_bit_identical\": {dispatch_bit_identical},\n  \
+         \"dispatch_speedup_target_met\": {dispatch_speedup_target_met},\n  \
+         \"price_memo_hits_positive\": {price_memo_hits_positive}\n}}\n",
         if quick { " -- --quick" } else { "" },
         profiles.len(),
         config.overload,
         policy_json(&fifo),
         policy_json(&edf),
         sweep_rows.join(",\n"),
+        cell_rows.join(",\n"),
+        deepest.speedup,
+        deepest.indexed_rps,
     );
     std::fs::write(path, json).expect("write json");
     println!("wrote {path}");
@@ -169,6 +334,16 @@ fn main() {
         "edf-degrade p99 {:.1} ms did not beat fifo {:.1} ms",
         edf.p99_latency_ms, fifo.p99_latency_ms
     );
+    assert!(
+        dispatch_bit_identical,
+        "indexed dispatch diverged from the reference somewhere in the sweep"
+    );
+    assert!(
+        dispatch_speedup_target_met,
+        "deepest-queue speedup {:.2}x below the 5x target",
+        deepest.speedup
+    );
+    assert!(price_memo_hits_positive, "pricing memo never hit");
 }
 
 fn policy_json(r: &SloReport) -> String {

@@ -1431,6 +1431,21 @@ mod tests {
         assert_eq!(get("sched.requests"), 2.0 * 4.0 * 20.0, "{snap}");
         assert!(get("sched.admitted") >= 1.0, "{snap}");
         assert!(get("sched.deadline_hits") >= 1.0, "{snap}");
+        // Dispatch-path telemetry from the indexed scheduler: the loop
+        // timer and heap traffic must be live, and the pricing memo must
+        // have been consulted (hits + misses covers cold caches). Stale
+        // pops and prunes can legitimately be zero on a small fleet, but
+        // the keys must still be exported.
+        assert!(get("sched.dispatch_ns") >= 1.0, "{snap}");
+        assert!(get("sched.heap.pushes") >= 1.0, "{snap}");
+        assert!(get("sched.heap.pops") >= 1.0, "{snap}");
+        assert!(
+            get("sched.price_memo.hits") + get("sched.price_memo.misses") >= 1.0,
+            "{snap}"
+        );
+        for key in ["sched.heap.stale", "sched.price_memo.prunes"] {
+            assert!(counters.get(key).is_some(), "{key} exported: {snap}");
+        }
         let hists = parsed.get("histograms").expect("histograms object");
         for h in ["sched.queue_depth", "sched.slack_ms", "sched.latency_ms"] {
             assert!(

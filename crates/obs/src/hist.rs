@@ -25,6 +25,30 @@ pub fn bucket_upper_ms(i: usize) -> f64 {
     0.001 * (1u64 << i) as f64
 }
 
+/// The 1-based nearest-rank index for quantile `q` over `count`
+/// observations: `ceil(q * count)` clamped to `[1, count]`, or 0 when
+/// `count` is 0. `q` is clamped to `[0, 1]` (non-finite reads as 1).
+/// This is the single source of rank arithmetic for both the bucketed
+/// [`Histogram::quantile_ms`] estimate and the exact report
+/// percentiles in `mcdnn-sim`, so the two paths can never drift.
+pub fn nearest_rank(count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 1.0 };
+    ((q * count as f64).ceil() as u64).clamp(1, count)
+}
+
+/// Exact nearest-rank percentile over an ascending slice; 0 when
+/// empty. Ranks come from [`nearest_rank`], the same arithmetic
+/// [`Histogram::quantile_ms`] walks its buckets with.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    match nearest_rank(sorted.len() as u64, q) {
+        0 => 0.0,
+        rank => sorted[rank as usize - 1],
+    }
+}
+
 impl Default for Histogram {
     fn default() -> Self {
         Histogram::new()
@@ -110,8 +134,7 @@ impl Histogram {
         if self.count == 0 {
             return 0.0;
         }
-        let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 1.0 };
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let rank = nearest_rank(self.count, q);
         let mut seen = 0u64;
         for i in 0..BUCKETS {
             seen += self.counts[i];
@@ -239,6 +262,38 @@ mod tests {
         let mut o = Histogram::new();
         o.observe(1e9); // overflow only
         assert_eq!(o.quantile_ms(0.5), 1e9, "overflow ranks report max_ms");
+    }
+
+    #[test]
+    fn exact_percentile_and_bucket_quantile_share_the_rank() {
+        // The exact helper and the bucketed estimate must pick the same
+        // nearest-rank observation: feeding the same values through
+        // both, the bucket bound that quantile_ms reports is exactly
+        // the bucket holding percentile_sorted's answer.
+        let values: Vec<f64> = (1..=97).map(|i| 0.013 * i as f64 * i as f64).collect();
+        let mut h = Histogram::new();
+        let mut sorted = values.clone();
+        for v in &values {
+            h.observe(*v);
+        }
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = percentile_sorted(&sorted, q);
+            let est = h.quantile_ms(q);
+            let bucket = (0..BUCKETS)
+                .find(|&i| exact <= bucket_upper_ms(i))
+                .expect("fixture fits finite buckets");
+            assert_eq!(
+                est,
+                bucket_upper_ms(bucket).min(h.max_ms()),
+                "q={q}: estimate must cover the exact rank-{} value {exact}",
+                nearest_rank(sorted.len() as u64, q)
+            );
+            assert!(est >= exact, "q={q}: bucket bound is an upper estimate");
+        }
+        assert_eq!(nearest_rank(0, 0.5), 0);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+        assert_eq!(nearest_rank(100, f64::NAN), 100, "non-finite q reads as 1.0");
     }
 
     #[test]

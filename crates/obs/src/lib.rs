@@ -46,7 +46,7 @@ pub mod registry;
 pub mod span;
 
 pub use chrome::{ChromeTrace, InstantEvent, TraceEvent};
-pub use hist::Histogram;
+pub use hist::{nearest_rank, percentile_sorted, Histogram};
 pub use registry::{
     counter_add, counter_value, drain_spans, enabled, observe_ms, reset, set_enabled, snapshot,
     MetricsSnapshot, SpanRecord,

@@ -582,6 +582,19 @@ impl RateFrontier {
         (self.lo_mbps..=self.hi_mbps).contains(&bandwidth_mbps)
     }
 
+    /// Index into [`RateFrontier::pieces`] of the piece covering
+    /// `bandwidth_mbps`, or `None` outside the compiled range. This is
+    /// the indexing half of [`RateFrontier::decide_at`]: callers that
+    /// key per-piece tables (the scheduler's rung-pricing memo) resolve
+    /// the piece once and cache everything derived from its mix.
+    pub fn piece_index_at(&self, bandwidth_mbps: f64) -> Option<usize> {
+        if self.covers(bandwidth_mbps) {
+            Some(self.starts.partition_point(|s| *s <= bandwidth_mbps) - 1)
+        } else {
+            None
+        }
+    }
+
     fn sig_at(&self, bandwidth_mbps: f64) -> CutMix {
         let idx = self.starts.partition_point(|s| *s <= bandwidth_mbps) - 1;
         self.sigs[idx]
@@ -726,8 +739,14 @@ fn refine(
 /// keeps *cold* streams on different keys from serializing on one
 /// mutex.
 const DEFAULT_SHARDS: usize = 16;
-/// Slots in the per-thread direct-mapped hot-entry memo.
-const MEMO_SLOTS: usize = 8;
+/// Slots in the per-thread direct-mapped hot-entry memo. Sized for a
+/// serving fleet's working set: a direct-mapped table keyed
+/// `hash % MEMO_SLOTS` thrashes once distinct frontiers outnumber the
+/// slots (at 8 slots a 64-user fleet evicted every entry before any
+/// key repeated, so steady-state runs scored zero memo hits), so keep
+/// a comfortable margin over the largest fleet the benches drive
+/// through one thread.
+const MEMO_SLOTS: usize = 128;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -1268,6 +1287,32 @@ mod tests {
         });
         assert_eq!(mcdnn_obs::counter_value("frontier.shard.hits") - shard0, 1);
         assert_eq!(mcdnn_obs::counter_value("frontier.cache.miss") - miss0, 0);
+    }
+
+    #[test]
+    fn memo_survives_a_fleet_sized_round_robin() {
+        // Regression for the dead-memo symptom: a 64-user fleet cycling
+        // 64 distinct (n_jobs, range) keys through an 8-slot
+        // direct-mapped memo evicted every entry before any key
+        // repeated, so steady-state passes scored zero memo hits. With
+        // the fleet-sized table most keys keep their slot across a full
+        // round, so a second identical round is largely memo-served.
+        mcdnn_obs::set_enabled(true);
+        let cache = PlanCache::new();
+        let rate = rate_profile();
+        let fetch_round = |cache: &PlanCache| {
+            for n in 1usize..=64 {
+                let _ = cache.frontier(&rate, Strategy::Jps, n, 0.1, 80.0).unwrap();
+            }
+        };
+        fetch_round(&cache);
+        let memo0 = mcdnn_obs::counter_value("frontier.shard.memo_hits");
+        fetch_round(&cache);
+        let hits = mcdnn_obs::counter_value("frontier.shard.memo_hits") - memo0;
+        assert!(
+            hits >= 32,
+            "second round-robin pass over 64 keys must be mostly memo-served, got {hits}/64"
+        );
     }
 
     #[test]

@@ -73,14 +73,35 @@
 //! arrival, class, ladder rung, dispatch and completion bits — equal
 //! digests ⇒ bit-identical schedules.
 //!
+//! # Dispatch path
+//!
+//! The hot path dispatches from indexed queues
+//! ([`DispatchMode::Indexed`], the default): per-tenant deadline heaps
+//! feed a cross-tenant [`BinaryHeap`] of tenant-head candidates keyed
+//! `(over-share bit, deadline, priority, tenant, seq)`, with stale
+//! entries discarded lazily at pop. Ladder pricing is memoized per run
+//! in a table keyed `(tenant, rung, frontier piece, slack bucket)` —
+//! see [`RateFrontier::piece_index_at`]. The pre-overhaul linear scan
+//! is retained as [`DispatchMode::Reference`]
+//! ([`serve_slo_serial_with`]) and the two produce **byte-equal**
+//! digests; the equivalence tests pin this zoo-wide at every pool
+//! width. [`SloArena`] reuses every queue, memo, and outcome buffer
+//! across burst windows, and [`SloArena::stats`] reports per-run
+//! [`DispatchStats`].
+//!
 //! Observability: the scheduler exports `sched.*` counters (requests,
-//! admissions, both shed causes, degradations, deadline hits/misses)
-//! and `sched.queue_depth` / `sched.slack_ms` / `sched.latency_ms`
-//! histograms through `mcdnn-obs`. Report percentiles are computed
-//! exactly from the recorded latencies, never from histogram buckets,
-//! so they stay bit-stable.
+//! admissions, both shed causes, degradations, deadline hits/misses,
+//! plus `sched.dispatch_ns`, `sched.heap.*` and `sched.price_memo.*`
+//! from the indexed dispatcher) and `sched.queue_depth` /
+//! `sched.slack_ms` / `sched.latency_ms` histograms through
+//! `mcdnn-obs`. Report percentiles are computed exactly from the
+//! recorded latencies, never from histogram buckets, so they stay
+//! bit-stable.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use mcdnn_partition::{
     joint_allocate, CutMix, JointTenant, PlanCache, PlanError, RateFrontier, RateProfile,
@@ -445,6 +466,20 @@ fn tenant_requests(
     fleet_size: usize,
     config: &SloConfig,
 ) -> Result<(Vec<SloRequest>, Arc<RateFrontier>), AdmitError> {
+    let mut out = Vec::with_capacity(config.requests_per_tenant);
+    let frontier = tenant_requests_into(cache, tenant, fleet_size, config, &mut out)?;
+    Ok((out, frontier))
+}
+
+/// [`tenant_requests`] writing into a caller-owned buffer — the warm
+/// [`SloArena`] path regenerates streams without allocating.
+fn tenant_requests_into(
+    cache: &PlanCache,
+    tenant: &SloTenant,
+    fleet_size: usize,
+    config: &SloConfig,
+    out: &mut Vec<SloRequest>,
+) -> Result<Arc<RateFrontier>, AdmitError> {
     let spec = &tenant.spec;
     let frontier = cache.frontier(
         &spec.profile,
@@ -466,7 +501,7 @@ fn tenant_requests(
     let mean_gap = fleet_size as f64 * u_mid / config.overload;
     let mut bandwidth = config.lo_mbps * (config.hi_mbps / config.lo_mbps).powf(rng.f64());
     let mut arrival = 0.0;
-    let mut out = Vec::with_capacity(config.requests_per_tenant);
+    out.clear();
     for seq in 0..config.requests_per_tenant {
         arrival += mean_gap * (0.5 + rng.f64());
         let step = 1.0 + 0.25 * (rng.f64() * 2.0 - 1.0);
@@ -495,13 +530,16 @@ fn tenant_requests(
             deadline_ms: arrival + slack * nominal,
         });
     }
-    Ok((out, frontier))
+    Ok(frontier)
 }
 
-/// EDF + WFQ pop: pick the queued index to dispatch next. On-share
-/// tenants go first in (deadline, priority) order; tenants past their
-/// weighted share are deferred behind everyone still under theirs.
-fn pick_next(
+/// EDF + WFQ pop, linear-scan reference: pick the queued index to
+/// dispatch next. On-share tenants go first in (deadline, priority)
+/// order; tenants past their weighted share are deferred behind
+/// everyone still under theirs. [`DispatchMode::Indexed`] computes the
+/// same argmin from indexed queues; this O(n) scan is the semantic
+/// ground truth the heap path is proven byte-equal against.
+fn dispatch_reference(
     queue: &[SloRequest],
     classes: &[(SloClass, f64)],
     service: &[f64],
@@ -528,6 +566,340 @@ fn pick_next(
     best
 }
 
+/// Which dispatcher the scheduling loop runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Indexed queues: per-tenant deadline heaps + a cross-tenant
+    /// candidate heap with lazy deletion, plus the per-run rung-pricing
+    /// memo. The default everywhere.
+    #[default]
+    Indexed,
+    /// The pre-overhaul O(queue) linear scan and per-request ladder
+    /// repricing — kept as the bit-exactness reference and as the
+    /// baseline the dispatch benchmarks measure against.
+    Reference,
+}
+
+/// Hot-path accounting for one scheduling run, reported through
+/// [`SloArena::stats`]. Deliberately *not* part of [`SloReport`]: the
+/// report is byte-compared across pool widths and dispatch modes, and
+/// wall-clock nanoseconds would break that contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchStats {
+    /// Wall-clock nanoseconds spent in the dispatch loop proper
+    /// (admission, pick, pricing, settling). Mode-independent work —
+    /// request generation, stream merge/sort, cloud share planning,
+    /// report summarization — is excluded, so reference/indexed ratios
+    /// compare exactly the code the overhaul replaced.
+    pub schedule_ns: u64,
+    /// Requests offered to the loop.
+    pub requests: u64,
+    /// Requests dispatched (admitted at some rung).
+    pub dispatched: u64,
+    /// Entries pushed across both heap levels (indexed mode only).
+    pub heap_pushes: u64,
+    /// Entries popped from the cross-tenant heap (indexed mode only).
+    pub heap_pops: u64,
+    /// Popped entries discarded as stale by lazy deletion — the head
+    /// they indexed was already dispatched, shed, or changed its
+    /// over-share bit (indexed mode only).
+    pub heap_stale: u64,
+    /// Rung pricings answered by the per-run memo (indexed mode only).
+    pub memo_hits: u64,
+    /// Rung pricings computed and installed (indexed mode only).
+    pub memo_misses: u64,
+    /// Rungs skipped because the memoized lower bound already misses
+    /// the deadline (indexed mode only).
+    pub memo_prunes: u64,
+}
+
+/// Map a finite, non-NaN deadline to a `u64` whose unsigned order
+/// matches the `f64` order (the standard sign-flip total-order map).
+/// Generated deadlines are always strictly positive; the map also
+/// orders negatives correctly so the property tests can roam.
+#[inline]
+fn deadline_key(d: f64) -> u64 {
+    let b = d.to_bits();
+    if b & (1 << 63) != 0 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Quantized-slack strata of the pricing memo key.
+const SLACK_BUCKETS: usize = 4;
+
+/// Bucket a request's slack-at-dispatch (deadline − now, ms). The
+/// memoized prices are slack-invariant — the bucket stratifies the
+/// table (and its hit counters) by load regime, so a tenant's
+/// tight-deadline and loose-deadline traffic warm separate rows.
+#[inline]
+fn slack_bucket(slack_ms: f64) -> usize {
+    if slack_ms < 16.0 {
+        0
+    } else if slack_ms < 128.0 {
+        1
+    } else if slack_ms < 1024.0 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Memoized price of one (tenant, rung, piece, slack-bucket) key:
+/// everything about the rung that does not depend on the request's
+/// actual bandwidth. The uplink term is recomputed per request from
+/// the cached mix with the exact original expression, so completions
+/// stay bit-identical to the reference path.
+#[derive(Debug, Clone, Copy)]
+struct RungSlot {
+    /// Cut structure of the rung's frontier piece.
+    mix: CutMix,
+    /// Device prefix work, ms.
+    d: f64,
+    /// Stretched cloud-stage time `W / φ` (0 without a pool), ms.
+    ct: f64,
+    /// Uplink occupancy at `hi_mbps` — a bitwise-sound lower bound on
+    /// the rung's uplink term at any in-range bandwidth (upload time is
+    /// monotone nonincreasing in bandwidth, IEEE rounding included).
+    u_lo: f64,
+}
+
+/// Per-piece prices for the joint Normal-rung best-response scan.
+#[derive(Debug, Clone, Copy)]
+struct JointPiece {
+    mix: CutMix,
+    d: f64,
+    ct: f64,
+}
+
+/// The reference closure `cloud_time` as a function, shared by both
+/// dispatch paths so cached and fresh cloud terms are the same bits.
+#[inline]
+fn cloud_time_of(w: f64, phi: f64, cloud_servers: usize) -> f64 {
+    if cloud_servers == 0 || w <= 0.0 {
+        0.0
+    } else if phi > 0.0 {
+        w / phi
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Per-tenant deadline heaps plus the cross-tenant candidate heap —
+/// the indexed replacement for the linear scan, byte-equal by
+/// construction:
+///
+/// * `tq[t]` is a min-heap on `(deadline, priority, seq)`, so its head
+///   is exactly tenant `t`'s argmin under the reference key (the
+///   `(tenant, seq)` tie-break only ever compares across tenants).
+/// * `ready` holds one candidate per (tenant, head, over-bit)
+///   generation, keyed `(over, deadline, priority, tenant, seq)` — the
+///   reference key verbatim, with the WFQ over-share predicate
+///   evaluated as the same float expression
+///   `service[t] * total_weight > total_service * weights[t]`.
+/// * Lazy deletion: a popped candidate is valid only if it still names
+///   its tenant's current head *and* the tenant's current over-bit;
+///   anything else is discarded (`heap_stale`). Invariant: every
+///   tenant with queued work always has one valid candidate in
+///   `ready`, because every event that changes a head or an over-bit
+///   (admission, dispatch, shed, WFQ sweep) pushes a fresh entry.
+/// * Over-bits only flip under→over for the tenant that just
+///   dispatched (its service grows faster than the total) and
+///   over→under for others as total service grows; [`Self::sweep`]
+///   applies the latter with the exact reference predicate before
+///   every pick.
+#[derive(Debug, Default)]
+struct IndexedQueue {
+    tq: Vec<BinaryHeap<Reverse<TenantKey>>>,
+    ready: BinaryHeap<Reverse<ReadyKey>>,
+    over: Vec<bool>,
+    over_list: Vec<usize>,
+}
+
+/// Per-tenant heap key: `(deadline, priority, seq, stream index)`.
+type TenantKey = (u64, u8, usize, usize);
+
+/// Cross-tenant candidate key: `(over-bit, deadline, priority, tenant,
+/// seq, stream index)` — the reference pick key with the trailing
+/// stream index carried as a payload (never reached by comparison:
+/// `(tenant, seq)` is unique).
+type ReadyKey = (u8, u64, u8, usize, usize, usize);
+
+impl IndexedQueue {
+    fn reset(&mut self, tenant_count: usize) {
+        if self.tq.len() < tenant_count {
+            self.tq.resize_with(tenant_count, BinaryHeap::new);
+        }
+        for q in &mut self.tq[..tenant_count] {
+            q.clear();
+        }
+        self.ready.clear();
+        self.over.clear();
+        self.over.resize(tenant_count, false);
+        self.over_list.clear();
+    }
+
+    /// Admit one request (index `idx` into the merged stream).
+    fn push(&mut self, r: &SloRequest, priority: u8, idx: usize, stats: &mut DispatchStats) {
+        let key = (deadline_key(r.deadline_ms), priority, r.seq, idx);
+        let t = r.tenant;
+        let new_head = match self.tq[t].peek() {
+            None => true,
+            Some(&Reverse(head)) => key < head,
+        };
+        self.tq[t].push(Reverse(key));
+        stats.heap_pushes += 1;
+        if new_head {
+            self.ready
+                .push(Reverse((u8::from(self.over[t]), key.0, key.1, t, key.2, key.3)));
+            stats.heap_pushes += 1;
+        }
+    }
+
+    /// Re-candidate tenant `t`'s current head (after its previous head
+    /// was dispatched or shed, or its over-bit changed).
+    fn push_head(&mut self, t: usize, stats: &mut DispatchStats) {
+        if let Some(&Reverse((dl, prio, seq, idx))) = self.tq[t].peek() {
+            self.ready
+                .push(Reverse((u8::from(self.over[t]), dl, prio, t, seq, idx)));
+            stats.heap_pushes += 1;
+        }
+    }
+
+    /// Apply passive over→under flips: total service only grows, so
+    /// tenants marked over can fall back under their share without any
+    /// action of their own. Checks the exact reference predicate for
+    /// every currently-over tenant.
+    fn sweep(
+        &mut self,
+        service: &[f64],
+        weights: &[f64],
+        total_weight: f64,
+        total_service: f64,
+        stats: &mut DispatchStats,
+    ) {
+        let mut i = 0;
+        while i < self.over_list.len() {
+            let t = self.over_list[i];
+            if service[t] * total_weight > total_service * weights[t] {
+                i += 1;
+            } else {
+                self.over[t] = false;
+                self.over_list.swap_remove(i);
+                self.push_head(t, stats);
+            }
+        }
+    }
+
+    /// Recompute tenant `t`'s over-bit after its service grew; pushes a
+    /// fresh head candidate when the bit flips (returning `true` so the
+    /// caller knows the head was already re-candidated).
+    fn update_over(
+        &mut self,
+        t: usize,
+        service: &[f64],
+        weights: &[f64],
+        total_weight: f64,
+        total_service: f64,
+        stats: &mut DispatchStats,
+    ) -> bool {
+        let now = service[t] * total_weight > total_service * weights[t];
+        if now != self.over[t] {
+            self.over[t] = now;
+            if now {
+                self.over_list.push(t);
+            } else if let Some(p) = self.over_list.iter().position(|&x| x == t) {
+                self.over_list.swap_remove(p);
+            }
+            self.push_head(t, stats);
+            return true;
+        }
+        false
+    }
+
+    /// Pop the dispatch argmin: discard stale candidates until one
+    /// still names its tenant's current head with the current
+    /// over-bit, then pop that head. Equals the reference linear-scan
+    /// argmin because valid candidates are exactly the per-tenant
+    /// argmins under the reference key.
+    fn pop_best(&mut self, stats: &mut DispatchStats) -> (usize, usize) {
+        loop {
+            let Reverse((ob, dl, prio, t, seq, idx)) = self
+                .ready
+                .pop()
+                .expect("indexed queue invariant: queued work implies a valid candidate");
+            stats.heap_pops += 1;
+            if u8::from(self.over[t]) == ob && self.tq[t].peek() == Some(&Reverse((dl, prio, seq, idx)))
+            {
+                self.tq[t].pop();
+                return (t, idx);
+            }
+            stats.heap_stale += 1;
+        }
+    }
+}
+
+/// Reusable buffers for the scheduling loop. Everything the loop
+/// touches per request lives here, so back-to-back burst windows on a
+/// warm arena neither allocate nor free (pinned by the
+/// counting-allocator test).
+#[derive(Debug, Default)]
+struct SchedState {
+    /// Merged, arrival-sorted request stream.
+    all: Vec<SloRequest>,
+    /// Reference-mode pending queue (linear scan).
+    rq: Vec<SloRequest>,
+    /// Indexed-mode FIFO queue (indices into `all`).
+    fifo: VecDeque<usize>,
+    /// Indexed-mode EDF/WFQ queues.
+    iq: IndexedQueue,
+    service: Vec<f64>,
+    weights: Vec<f64>,
+    n_jobs: Vec<usize>,
+    shares: Vec<f64>,
+    outcomes: Vec<Outcome>,
+    /// Per-run rung-pricing memo, `rung_off[t]`-based rows of
+    /// `LADDER × (pieces + 1 local) × SLACK_BUCKETS` slots.
+    rung_slots: Vec<Option<RungSlot>>,
+    rung_off: Vec<usize>,
+    /// Per-tenant piece prices for the joint best-response scan.
+    jp: Vec<Option<JointPiece>>,
+    jp_off: Vec<usize>,
+    /// Per-tenant outcome digests (digest-only runs).
+    tdig: Vec<u64>,
+    stats: DispatchStats,
+}
+
+/// Reusable request/outcome buffers for SLO scheduling, mirroring
+/// [`crate::des::DesArena`]: feed the same arena to
+/// [`serve_slo_serial_in`] (or [`serve_slo_digest_in`]) across burst
+/// windows and the warm dispatch path runs allocation-free — streams,
+/// queues, heaps, the pricing memo, and outcome buffers are all
+/// reused. Reports are built fresh per call (they own `String`s);
+/// only the generation + scheduling loop is covered by the
+/// allocation-freedom contract, and the `joint_alloc` share planner is
+/// excluded (it runs a fresh optimization per run by design).
+#[derive(Debug, Default)]
+pub struct SloArena {
+    streams: Vec<Vec<SloRequest>>,
+    frontiers: Vec<Arc<RateFrontier>>,
+    sched: SchedState,
+}
+
+impl SloArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        SloArena::default()
+    }
+
+    /// Dispatch-path statistics of the most recent run on this arena.
+    pub fn stats(&self) -> DispatchStats {
+        self.sched.stats
+    }
+}
+
 /// Pick every tenant's static cloud share for the run, indexed by
 /// tenant id. With no pool ([`SloConfig::cloud_servers`] `== 0`) all
 /// shares are zero and never consulted. Oblivious mode splits the pool
@@ -536,17 +908,21 @@ fn pick_next(
 /// geometric mean of its generated stream — a pure function of the
 /// streams, so pooled and serial runs agree bit for bit).
 fn cloud_share_plan(
-    streams: &[(Vec<SloRequest>, Arc<RateFrontier>)],
+    shares: &mut Vec<f64>,
+    streams: &[Vec<SloRequest>],
+    frontiers: &[Arc<RateFrontier>],
     tenants: &[SloTenant],
     config: &SloConfig,
-) -> Vec<f64> {
-    let mut shares = vec![0.0f64; tenants.len()];
+) {
+    shares.clear();
+    shares.resize(tenants.len(), 0.0);
     if config.cloud_servers == 0 {
-        return shares;
+        return;
     }
     if config.joint_alloc {
         let joint_tenants: Vec<JointTenant<'_>> = streams
             .iter()
+            .zip(frontiers)
             .zip(tenants)
             .map(|((stream, frontier), t)| {
                 let sum_ln: f64 = stream.iter().map(|r| r.bandwidth_mbps.ln()).sum();
@@ -570,22 +946,130 @@ fn cloud_share_plan(
             shares[t.spec.id] = phi;
         }
     }
-    for &s in &shares {
-        mcdnn_obs::observe_ms("sched.cloud.share", s);
+    for s in shares.iter() {
+        mcdnn_obs::observe_ms("sched.cloud.share", *s);
     }
-    shares
+}
+
+/// Mutable loop state shared by both dispatch modes, so the
+/// settle-an-outcome step is literally the same code (same float
+/// expressions, same counter order) whichever queue produced the pick.
+#[derive(Debug, Default)]
+struct LoopCtx {
+    server_free: f64,
+    total_service: f64,
+    shed_queue_full: u64,
+    shed_infeasible: u64,
+    degraded: u64,
+    cloud_busy_ms: f64,
+    joint_overrides: u64,
+}
+
+/// Outcome recorded for a request shed before (queue full) or at
+/// (no feasible rung) dispatch.
+#[inline]
+fn shed_outcome(r: &SloRequest) -> Outcome {
+    Outcome {
+        tenant: r.tenant,
+        seq: r.seq,
+        class: r.class,
+        arrival_ms: r.arrival_ms,
+        deadline_ms: r.deadline_ms,
+        level: LadderLevel::Normal,
+        completion_ms: f64::INFINITY,
+        shed: true,
+        hit: false,
+    }
+}
+
+/// Commit one dispatch decision: advance the uplink, account service
+/// and cloud occupancy, record the outcome. Returns whether the
+/// request actually ran (false = infeasible shed).
+fn settle(
+    r: &SloRequest,
+    chosen: Option<(LadderLevel, f64, f64, f64, f64, bool)>,
+    cx: &mut LoopCtx,
+    service: &mut [f64],
+    outcomes: &mut Vec<Outcome>,
+) -> bool {
+    match chosen {
+        Some((level, d, u, upload_end, completion, overridden)) => {
+            if u > 0.0 {
+                cx.server_free = upload_end;
+            }
+            if completion > upload_end {
+                cx.cloud_busy_ms += completion - upload_end;
+                mcdnn_obs::counter_add("sched.cloud.requests", 1);
+                mcdnn_obs::observe_ms("sched.cloud.stage_ms", completion - upload_end);
+            }
+            if overridden {
+                cx.joint_overrides += 1;
+                mcdnn_obs::counter_add("sched.cloud.joint_overrides", 1);
+            }
+            service[r.tenant] += d + u;
+            cx.total_service += d + u;
+            if level != LadderLevel::Normal {
+                cx.degraded += 1;
+                mcdnn_obs::counter_add("sched.degraded", 1);
+            }
+            let hit = completion <= r.deadline_ms;
+            mcdnn_obs::counter_add("sched.admitted", 1);
+            mcdnn_obs::counter_add(
+                if hit {
+                    "sched.deadline_hits"
+                } else {
+                    "sched.deadline_misses"
+                },
+                1,
+            );
+            mcdnn_obs::observe_ms("sched.latency_ms", completion - r.arrival_ms);
+            outcomes.push(Outcome {
+                tenant: r.tenant,
+                seq: r.seq,
+                class: r.class,
+                arrival_ms: r.arrival_ms,
+                deadline_ms: r.deadline_ms,
+                level,
+                completion_ms: completion,
+                shed: false,
+                hit,
+            });
+            true
+        }
+        None => {
+            cx.shed_infeasible += 1;
+            mcdnn_obs::counter_add("sched.shed_infeasible", 1);
+            mcdnn_obs::counter_add("sched.deadline_misses", 1);
+            outcomes.push(shed_outcome(r));
+            false
+        }
+    }
 }
 
 /// Run the virtual-time scheduling loop over the merged request
 /// streams. Serial by construction — this *is* the deterministic core.
+/// Both dispatch modes produce bit-identical outcomes (the equivalence
+/// tests pin it); only the queue structures — and therefore the
+/// wall-clock cost — differ.
 fn schedule(
-    streams: &[(Vec<SloRequest>, Arc<RateFrontier>)],
+    st: &mut SchedState,
+    streams: &[Vec<SloRequest>],
+    frontiers: &[Arc<RateFrontier>],
     tenants: &[SloTenant],
     config: &SloConfig,
     policy: SloPolicy,
-) -> SloReport {
-    let mut all: Vec<SloRequest> = streams.iter().flat_map(|(s, _)| s.iter().copied()).collect();
-    all.sort_by(|a, b| {
+    mode: DispatchMode,
+) -> Tallies {
+    st.stats = DispatchStats::default();
+
+    st.all.clear();
+    for s in streams {
+        st.all.extend_from_slice(s);
+    }
+    // (arrival, tenant, seq) is unique per request, so this total order
+    // has exactly one sorted permutation and the in-place unstable sort
+    // is deterministic (and, unlike a stable sort, allocation-free).
+    st.all.sort_unstable_by(|a, b| {
         a.arrival_ms
             .partial_cmp(&b.arrival_ms)
             .unwrap()
@@ -593,111 +1077,104 @@ fn schedule(
             .then(a.seq.cmp(&b.seq))
     });
 
-    let weights: Vec<f64> = {
-        let mut w = vec![1.0; tenants.len()];
-        for t in tenants {
-            w[t.spec.id] = t.weight;
-        }
-        w
-    };
-    let total_weight: f64 = weights.iter().sum();
-    let n_jobs: Vec<usize> = {
-        let mut n = vec![1; tenants.len()];
-        for t in tenants {
-            n[t.spec.id] = t.spec.n_jobs;
-        }
-        n
-    };
-    let frontiers: Vec<&Arc<RateFrontier>> = streams.iter().map(|(_, f)| f).collect();
+    st.weights.clear();
+    st.weights.resize(tenants.len(), 1.0);
+    st.n_jobs.clear();
+    st.n_jobs.resize(tenants.len(), 1);
+    for t in tenants {
+        st.weights[t.spec.id] = t.weight;
+        st.n_jobs[t.spec.id] = t.spec.n_jobs;
+    }
+    st.service.clear();
+    st.service.resize(tenants.len(), 0.0);
+    st.outcomes.clear();
+    cloud_share_plan(&mut st.shares, streams, frontiers, tenants, config);
 
-    let shares = cloud_share_plan(streams, tenants, config);
+    // Time the dispatch loop alone: stream merge/sort and share
+    // planning above are mode-independent setup and would dilute the
+    // indexed-vs-reference ratio identically on both sides.
+    let start = Instant::now();
+    let tallies = match mode {
+        DispatchMode::Reference => run_reference(st, frontiers, config, policy),
+        DispatchMode::Indexed => run_indexed(st, frontiers, config, policy),
+    };
+    mcdnn_obs::counter_add("sched.requests", st.all.len() as u64);
+    st.stats.requests = st.all.len() as u64;
+    st.stats.schedule_ns = start.elapsed().as_nanos() as u64;
+    mcdnn_obs::counter_add("sched.dispatch_ns", st.stats.schedule_ns);
+    mcdnn_obs::counter_add("sched.heap.pushes", st.stats.heap_pushes);
+    mcdnn_obs::counter_add("sched.heap.pops", st.stats.heap_pops);
+    mcdnn_obs::counter_add("sched.heap.stale", st.stats.heap_stale);
+    mcdnn_obs::counter_add("sched.price_memo.hits", st.stats.memo_hits);
+    mcdnn_obs::counter_add("sched.price_memo.misses", st.stats.memo_misses);
+    mcdnn_obs::counter_add("sched.price_memo.prunes", st.stats.memo_prunes);
+    tallies
+}
 
-    let mut service = vec![0.0f64; tenants.len()];
-    let mut total_service = 0.0f64;
-    let mut outcomes: Vec<Outcome> = Vec::with_capacity(all.len());
-    let mut queue: Vec<SloRequest> = Vec::new();
-    let mut server_free = 0.0f64;
+/// The pre-overhaul loop, verbatim: linear-scan pick over a `Vec`
+/// queue and direct per-request ladder repricing.
+fn run_reference(
+    st: &mut SchedState,
+    frontiers: &[Arc<RateFrontier>],
+    config: &SloConfig,
+    policy: SloPolicy,
+) -> Tallies {
+    let total_weight: f64 = st.weights.iter().sum();
+    let mut cx = LoopCtx::default();
     let mut next = 0usize;
-    let mut shed_queue_full = 0u64;
-    let mut shed_infeasible = 0u64;
-    let mut degraded = 0u64;
-    let mut cloud_busy_ms = 0.0f64;
-    let mut joint_overrides = 0u64;
+    st.rq.clear();
 
-    let admit = |queue: &mut Vec<SloRequest>, r: SloRequest, shed_full: &mut u64| {
-        if policy == SloPolicy::EdfDegrade && queue.len() >= config.max_queue {
-            *shed_full += 1;
-            mcdnn_obs::counter_add("sched.shed_queue_full", 1);
-            return Some(Outcome {
-                tenant: r.tenant,
-                seq: r.seq,
-                class: r.class,
-                arrival_ms: r.arrival_ms,
-                deadline_ms: r.deadline_ms,
-                level: LadderLevel::Normal,
-                completion_ms: f64::INFINITY,
-                shed: true,
-                hit: false,
-            });
-        }
-        queue.push(r);
-        None
-    };
-
-    while next < all.len() || !queue.is_empty() {
-        while next < all.len() && all[next].arrival_ms <= server_free {
-            if let Some(o) = admit(&mut queue, all[next], &mut shed_queue_full) {
-                outcomes.push(o);
+    while next < st.all.len() || !st.rq.is_empty() {
+        while next < st.all.len() && st.all[next].arrival_ms <= cx.server_free {
+            let r = st.all[next];
+            if policy == SloPolicy::EdfDegrade && st.rq.len() >= config.max_queue {
+                cx.shed_queue_full += 1;
+                mcdnn_obs::counter_add("sched.shed_queue_full", 1);
+                st.outcomes.push(shed_outcome(&r));
+            } else {
+                st.rq.push(r);
             }
             next += 1;
         }
-        if queue.is_empty() {
-            if next >= all.len() {
+        if st.rq.is_empty() {
+            if next >= st.all.len() {
                 break;
             }
-            server_free = all[next].arrival_ms;
+            cx.server_free = st.all[next].arrival_ms;
             continue;
         }
 
-        mcdnn_obs::observe_ms("sched.queue_depth", queue.len() as f64);
-        let t = server_free;
+        mcdnn_obs::observe_ms("sched.queue_depth", st.rq.len() as f64);
+        let t = cx.server_free;
         let idx = match policy {
             SloPolicy::Fifo => 0, // `all` is arrival-ordered and admits in order
-            SloPolicy::EdfDegrade => pick_next(
-                &queue,
+            SloPolicy::EdfDegrade => dispatch_reference(
+                &st.rq,
                 &config.spec.classes,
-                &service,
-                &weights,
+                &st.service,
+                &st.weights,
                 total_weight,
-                total_service,
+                cx.total_service,
             ),
         };
-        let r = queue.remove(idx);
+        let r = st.rq.remove(idx);
         mcdnn_obs::observe_ms("sched.slack_ms", (r.deadline_ms - t).max(0.0));
 
         // Walk the ladder: cheapest rung whose projected completion —
         // cloud contention included — fits the deadline. FIFO always
         // runs the Normal rung, deadline or not.
-        let frontier = frontiers[r.tenant];
-        let phi = shares[r.tenant];
+        let frontier = &frontiers[r.tenant];
+        let phi = st.shares[r.tenant];
         // Stretched cloud-stage time under this tenant's static share;
         // a share of zero makes cloud-bearing rungs unservable, which
         // steers dispatch toward zero-cloud structures.
-        let cloud_time = |w: f64| -> f64 {
-            if config.cloud_servers == 0 || w <= 0.0 {
-                0.0
-            } else if phi > 0.0 {
-                w / phi
-            } else {
-                f64::INFINITY
-            }
-        };
+        let cloud_time = |w: f64| cloud_time_of(w, phi, config.cloud_servers);
         // (level, device, uplink, upload-end, completion, overridden)
         let mut chosen: Option<(LadderLevel, f64, f64, f64, f64, bool)> = None;
         for (level, frac) in LADDER {
             let (mut d, mut u, mut w) = rung_cost(
                 frontier,
-                n_jobs[r.tenant],
+                st.n_jobs[r.tenant],
                 frac,
                 r.bandwidth_mbps,
                 config.lo_mbps,
@@ -710,7 +1187,7 @@ fn schedule(
                 // frontier's pieces (plus local-only) priced at the
                 // actual bandwidth under the tenant's actual share.
                 let profile = frontier.profile();
-                let nj = n_jobs[r.tenant];
+                let nj = st.n_jobs[r.tenant];
                 let local = CutMix::Uniform { cut: profile.k() };
                 let mut best = t.max(r.arrival_ms + d) + u + cloud_time(w);
                 for &mix in frontier.pieces().iter().chain(std::iter::once(&local)) {
@@ -733,77 +1210,278 @@ fn schedule(
             }
         }
 
-        match chosen {
-            Some((level, d, u, upload_end, completion, overridden)) => {
-                if u > 0.0 {
-                    server_free = upload_end;
+        if settle(&r, chosen, &mut cx, &mut st.service, &mut st.outcomes) {
+            st.stats.dispatched += 1;
+        }
+    }
+
+    Tallies {
+        shed_queue_full: cx.shed_queue_full,
+        shed_infeasible: cx.shed_infeasible,
+        degraded: cx.degraded,
+        cloud_busy_ms: cx.cloud_busy_ms,
+        joint_overrides: cx.joint_overrides,
+    }
+}
+
+/// The overhauled loop: indexed EDF/WFQ pick (or a `VecDeque` for
+/// FIFO) plus memoized ladder pricing. Bit-identical outcomes to
+/// [`run_reference`] — every float that reaches an outcome is computed
+/// with the same expression tree on the same values.
+fn run_indexed(
+    st: &mut SchedState,
+    frontiers: &[Arc<RateFrontier>],
+    config: &SloConfig,
+    policy: SloPolicy,
+) -> Tallies {
+    let tcount = st.weights.len();
+    let total_weight: f64 = st.weights.iter().sum();
+    let mut cx = LoopCtx::default();
+    let mut queued = 0usize;
+    let mut next = 0usize;
+    st.fifo.clear();
+    st.iq.reset(tcount);
+
+    // Size the per-run pricing memo: LADDER × (pieces + 1 local) ×
+    // SLACK_BUCKETS slots per tenant, plus the joint piece rows.
+    st.rung_off.clear();
+    st.jp_off.clear();
+    let (mut roff, mut joff) = (0usize, 0usize);
+    for f in frontiers {
+        st.rung_off.push(roff);
+        st.jp_off.push(joff);
+        roff += LADDER.len() * (f.pieces().len() + 1) * SLACK_BUCKETS;
+        joff += f.pieces().len() + 1;
+    }
+    st.rung_off.push(roff);
+    st.jp_off.push(joff);
+    st.rung_slots.clear();
+    st.rung_slots.resize(roff, None);
+    st.jp.clear();
+    st.jp.resize(joff, None);
+
+    while next < st.all.len() || queued > 0 {
+        while next < st.all.len() && st.all[next].arrival_ms <= cx.server_free {
+            let r = st.all[next];
+            if policy == SloPolicy::EdfDegrade {
+                if queued >= config.max_queue {
+                    cx.shed_queue_full += 1;
+                    mcdnn_obs::counter_add("sched.shed_queue_full", 1);
+                    st.outcomes.push(shed_outcome(&r));
+                } else {
+                    let priority = config.spec.classes[r.class].0.priority;
+                    st.iq.push(&r, priority, next, &mut st.stats);
+                    queued += 1;
                 }
-                if completion > upload_end {
-                    cloud_busy_ms += completion - upload_end;
-                    mcdnn_obs::counter_add("sched.cloud.requests", 1);
-                    mcdnn_obs::observe_ms("sched.cloud.stage_ms", completion - upload_end);
-                }
-                if overridden {
-                    joint_overrides += 1;
-                    mcdnn_obs::counter_add("sched.cloud.joint_overrides", 1);
-                }
-                service[r.tenant] += d + u;
-                total_service += d + u;
-                if level != LadderLevel::Normal {
-                    degraded += 1;
-                    mcdnn_obs::counter_add("sched.degraded", 1);
-                }
-                let hit = completion <= r.deadline_ms;
-                mcdnn_obs::counter_add("sched.admitted", 1);
-                mcdnn_obs::counter_add(
-                    if hit {
-                        "sched.deadline_hits"
-                    } else {
-                        "sched.deadline_misses"
-                    },
-                    1,
-                );
-                mcdnn_obs::observe_ms("sched.latency_ms", completion - r.arrival_ms);
-                outcomes.push(Outcome {
-                    tenant: r.tenant,
-                    seq: r.seq,
-                    class: r.class,
-                    arrival_ms: r.arrival_ms,
-                    deadline_ms: r.deadline_ms,
-                    level,
-                    completion_ms: completion,
-                    shed: false,
-                    hit,
-                });
+            } else {
+                st.fifo.push_back(next);
+                queued += 1;
             }
-            None => {
-                shed_infeasible += 1;
-                mcdnn_obs::counter_add("sched.shed_infeasible", 1);
-                mcdnn_obs::counter_add("sched.deadline_misses", 1);
-                outcomes.push(Outcome {
-                    tenant: r.tenant,
-                    seq: r.seq,
-                    class: r.class,
-                    arrival_ms: r.arrival_ms,
-                    deadline_ms: r.deadline_ms,
-                    level: LadderLevel::Normal,
-                    completion_ms: f64::INFINITY,
-                    shed: true,
-                    hit: false,
-                });
+            next += 1;
+        }
+        if queued == 0 {
+            if next >= st.all.len() {
+                break;
+            }
+            cx.server_free = st.all[next].arrival_ms;
+            continue;
+        }
+
+        mcdnn_obs::observe_ms("sched.queue_depth", queued as f64);
+        let t = cx.server_free;
+        let idx = match policy {
+            SloPolicy::Fifo => st.fifo.pop_front().expect("queued > 0"),
+            SloPolicy::EdfDegrade => {
+                st.iq.sweep(
+                    &st.service,
+                    &st.weights,
+                    total_weight,
+                    cx.total_service,
+                    &mut st.stats,
+                );
+                st.iq.pop_best(&mut st.stats).1
+            }
+        };
+        queued -= 1;
+        let r = st.all[idx];
+        mcdnn_obs::observe_ms("sched.slack_ms", (r.deadline_ms - t).max(0.0));
+
+        let chosen = price_ladder(st, frontiers, config, policy, &r, t);
+        let dispatched = settle(&r, chosen, &mut cx, &mut st.service, &mut st.outcomes);
+        if dispatched {
+            st.stats.dispatched += 1;
+        }
+        if policy == SloPolicy::EdfDegrade {
+            // The popped head is gone: re-candidate the tenant's next
+            // request, and apply the dispatcher's own under→over flip
+            // first so the fresh entry carries the current bit.
+            let flipped = dispatched
+                && st.iq.update_over(
+                    r.tenant,
+                    &st.service,
+                    &st.weights,
+                    total_weight,
+                    cx.total_service,
+                    &mut st.stats,
+                );
+            if !flipped {
+                st.iq.push_head(r.tenant, &mut st.stats);
             }
         }
     }
-    mcdnn_obs::counter_add("sched.requests", all.len() as u64);
 
-    let tallies = Tallies {
-        shed_queue_full,
-        shed_infeasible,
-        degraded,
-        cloud_busy_ms,
-        joint_overrides,
-    };
-    summarize(outcomes, tenants, config, policy, &shares, tallies)
+    Tallies {
+        shed_queue_full: cx.shed_queue_full,
+        shed_infeasible: cx.shed_infeasible,
+        degraded: cx.degraded,
+        cloud_busy_ms: cx.cloud_busy_ms,
+        joint_overrides: cx.joint_overrides,
+    }
+}
+
+/// Price one rung's slack-invariant terms for the memo.
+fn price_rung(
+    frontier: &RateFrontier,
+    nj: usize,
+    frac: f64,
+    piece: usize,
+    pieces_len: usize,
+    phi: f64,
+    config: &SloConfig,
+) -> RungSlot {
+    let profile = frontier.profile();
+    if frac == 0.0 {
+        debug_assert_eq!(piece, pieces_len);
+        let mix = CutMix::Uniform { cut: profile.k() };
+        RungSlot {
+            mix,
+            d: profile.mix_mobile_ms(nj, mix),
+            ct: 0.0,
+            u_lo: 0.0,
+        }
+    } else {
+        let mix = frontier.pieces()[piece];
+        let d = profile.mix_mobile_ms(nj, mix);
+        let w = profile.mix_cloud_ms(nj, mix);
+        RungSlot {
+            mix,
+            d,
+            ct: cloud_time_of(w, phi, config.cloud_servers),
+            u_lo: profile.mix_upload_ms(nj, mix, config.hi_mbps),
+        }
+    }
+}
+
+/// Memoized ladder walk — the indexed-mode replacement for the inline
+/// rung loop in [`run_reference`]. Per request it resolves each rung's
+/// frontier piece in O(log pieces), reuses the memoized bandwidth-
+/// independent prices, recomputes only the uplink term (with the exact
+/// reference expression), and prunes rungs whose bitwise-sound lower
+/// bound already misses the deadline.
+fn price_ladder(
+    st: &mut SchedState,
+    frontiers: &[Arc<RateFrontier>],
+    config: &SloConfig,
+    policy: SloPolicy,
+    r: &SloRequest,
+    t: f64,
+) -> Option<(LadderLevel, f64, f64, f64, f64, bool)> {
+    let tid = r.tenant;
+    let frontier = &frontiers[tid];
+    let profile = frontier.profile();
+    let nj = st.n_jobs[tid];
+    let phi = st.shares[tid];
+    let pieces_len = frontier.pieces().len();
+    let cols = pieces_len + 1;
+    let bucket = slack_bucket(r.deadline_ms - t);
+    for (rung_idx, (level, frac)) in LADDER.iter().enumerate() {
+        let piece = if *frac == 0.0 {
+            pieces_len
+        } else {
+            frontier
+                .piece_index_at((r.bandwidth_mbps * frac).clamp(config.lo_mbps, config.hi_mbps))
+                .expect("clamped bandwidth lies in the compiled range")
+        };
+        let si = st.rung_off[tid] + (rung_idx * cols + piece) * SLACK_BUCKETS + bucket;
+        let slot = match st.rung_slots[si] {
+            Some(s) => {
+                st.stats.memo_hits += 1;
+                s
+            }
+            None => {
+                st.stats.memo_misses += 1;
+                let s = price_rung(frontier, nj, *frac, piece, pieces_len, phi, config);
+                st.rung_slots[si] = Some(s);
+                s
+            }
+        };
+        let joint_normal =
+            *level == LadderLevel::Normal && config.joint_alloc && config.cloud_servers > 0;
+        if policy == SloPolicy::EdfDegrade && !joint_normal {
+            // Bitwise-sound prune: the completion expression below with
+            // `u` replaced by the smaller memoized `u_lo`. IEEE
+            // addition rounds monotonically, so lb <= completion — a
+            // pruned rung is exactly a rung the reference walk would
+            // also reject. (Joint Normal rungs are never pruned: the
+            // best-response scan can finish below this bound.)
+            let lb = t.max(r.arrival_ms + slot.d) + slot.u_lo + slot.ct;
+            if lb > r.deadline_ms {
+                st.stats.memo_prunes += 1;
+                continue;
+            }
+        }
+        let mut d = slot.d;
+        let mut u = if *frac == 0.0 {
+            0.0
+        } else {
+            profile.mix_upload_ms(nj, slot.mix, r.bandwidth_mbps)
+        };
+        let mut ct = slot.ct;
+        let mut overridden = false;
+        if joint_normal {
+            let (lo, hi) = (st.jp_off[tid], st.jp_off[tid + 1]);
+            if st.jp[lo].is_none() {
+                st.stats.memo_misses += 1;
+                for (k, jslot) in st.jp[lo..hi].iter_mut().enumerate() {
+                    let mix = if k < pieces_len {
+                        frontier.pieces()[k]
+                    } else {
+                        CutMix::Uniform { cut: profile.k() }
+                    };
+                    let dd = profile.mix_mobile_ms(nj, mix);
+                    let ww = profile.mix_cloud_ms(nj, mix);
+                    *jslot = Some(JointPiece {
+                        mix,
+                        d: dd,
+                        ct: cloud_time_of(ww, phi, config.cloud_servers),
+                    });
+                }
+            } else {
+                st.stats.memo_hits += 1;
+            }
+            // The reference best-response scan over pieces + local,
+            // with the bandwidth-independent terms read from the memo.
+            let mut best = t.max(r.arrival_ms + d) + u + ct;
+            for e in &st.jp[lo..hi] {
+                let e = e.as_ref().expect("joint rows filled above");
+                let uu = profile.mix_upload_ms(nj, e.mix, r.bandwidth_mbps);
+                let cc = t.max(r.arrival_ms + e.d) + uu + e.ct;
+                if cc < best {
+                    best = cc;
+                    d = e.d;
+                    u = uu;
+                    ct = e.ct;
+                    overridden = true;
+                }
+            }
+        }
+        let upload_end = t.max(r.arrival_ms + d) + u;
+        let completion = upload_end + ct;
+        if policy == SloPolicy::Fifo || completion <= r.deadline_ms {
+            return Some((*level, d, u, upload_end, completion, overridden));
+        }
+    }
+    None
 }
 
 /// Loop-level accounting carried from [`schedule`] into [`summarize`].
@@ -815,24 +1493,16 @@ struct Tallies {
     joint_overrides: u64,
 }
 
-/// Nearest-rank percentile over an ascending slice; 0 when empty.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 fn summarize(
-    mut outcomes: Vec<Outcome>,
+    outcomes: &mut [Outcome],
     tenants: &[SloTenant],
     config: &SloConfig,
     policy: SloPolicy,
     shares: &[f64],
     tallies: Tallies,
 ) -> SloReport {
-    outcomes.sort_by(|a, b| a.tenant.cmp(&b.tenant).then(a.seq.cmp(&b.seq)));
+    // `(tenant, seq)` is unique, so the unstable sort is deterministic.
+    outcomes.sort_unstable_by(|a, b| a.tenant.cmp(&b.tenant).then(a.seq.cmp(&b.seq)));
 
     let mut per_tenant: Vec<TenantSloSummary> = tenants
         .iter()
@@ -867,7 +1537,7 @@ fn summarize(
 
     let mut latencies: Vec<f64> = Vec::new();
     let (mut admitted, mut hits) = (0u64, 0u64);
-    for o in &outcomes {
+    for o in outcomes.iter() {
         let t = &mut per_tenant[o.tenant];
         t.requests += 1;
         let mut d = t.digest;
@@ -910,7 +1580,8 @@ fn summarize(
             c.hit_rate = c.hits as f64 / c.requests as f64;
         }
     }
-    latencies.sort_by(|a, b| a.total_cmp(b));
+    // Equal latencies are identical bits, so unstable order is moot.
+    latencies.sort_unstable_by(|a, b| a.total_cmp(b));
 
     let mut digest = FNV_OFFSET;
     for t in &per_tenant {
@@ -934,9 +1605,9 @@ fn summarize(
         } else {
             hits as f64 / total as f64
         },
-        p50_latency_ms: percentile(&latencies, 0.50),
-        p95_latency_ms: percentile(&latencies, 0.95),
-        p99_latency_ms: percentile(&latencies, 0.99),
+        p50_latency_ms: mcdnn_obs::percentile_sorted(&latencies, 0.50),
+        p95_latency_ms: mcdnn_obs::percentile_sorted(&latencies, 0.95),
+        p99_latency_ms: mcdnn_obs::percentile_sorted(&latencies, 0.99),
         tenants: per_tenant,
         classes,
         digest,
@@ -1030,6 +1701,41 @@ pub struct SloReport {
     pub digest: u64,
 }
 
+/// Regenerate the arena's request streams serially (reusing the
+/// per-tenant buffers) and run the scheduling loop into the arena.
+fn prepare_and_schedule(
+    arena: &mut SloArena,
+    cache: &PlanCache,
+    tenants: &[SloTenant],
+    config: &SloConfig,
+    policy: SloPolicy,
+    mode: DispatchMode,
+) -> Result<Tallies, AdmitError> {
+    config.validate()?;
+    if tenants.is_empty() {
+        return Err(AdmitError::EmptyFleet);
+    }
+    if arena.streams.len() < tenants.len() {
+        arena.streams.resize_with(tenants.len(), Vec::new);
+    }
+    arena.streams.truncate(tenants.len());
+    arena.frontiers.clear();
+    for (t, out) in tenants.iter().zip(&mut arena.streams) {
+        arena
+            .frontiers
+            .push(tenant_requests_into(cache, t, tenants.len(), config, out)?);
+    }
+    Ok(schedule(
+        &mut arena.sched,
+        &arena.streams,
+        &arena.frontiers,
+        tenants,
+        config,
+        policy,
+        mode,
+    ))
+}
+
 /// Schedule the fleet with per-tenant request generation fanned out
 /// across a persistent [`WorkerPool`]. Generation results come back in
 /// tenant-id order and the scheduling loop is serial virtual time, so
@@ -1041,6 +1747,19 @@ pub fn serve_slo(
     tenants: &[SloTenant],
     config: &SloConfig,
     policy: SloPolicy,
+) -> Result<SloReport, AdmitError> {
+    serve_slo_with(pool, cache, tenants, config, policy, DispatchMode::Indexed)
+}
+
+/// [`serve_slo`] with an explicit [`DispatchMode`] — the equivalence
+/// tests and the dispatch benchmark drive both modes through this.
+pub fn serve_slo_with(
+    pool: &WorkerPool,
+    cache: &Arc<PlanCache>,
+    tenants: &[SloTenant],
+    config: &SloConfig,
+    policy: SloPolicy,
+    mode: DispatchMode,
 ) -> Result<SloReport, AdmitError> {
     config.validate()?;
     if tenants.is_empty() {
@@ -1054,10 +1773,22 @@ pub fn serve_slo(
         tenant_requests(&cache_ref, &shared[i], fleet_size, &config_ref)
     });
     let mut streams = Vec::with_capacity(results.len());
+    let mut frontiers = Vec::with_capacity(results.len());
     for r in results {
-        streams.push(r?);
+        let (s, f) = r?;
+        streams.push(s);
+        frontiers.push(f);
     }
-    Ok(schedule(&streams, tenants, config, policy))
+    let mut st = SchedState::default();
+    let tallies = schedule(&mut st, &streams, &frontiers, tenants, config, policy, mode);
+    Ok(summarize(
+        &mut st.outcomes,
+        tenants,
+        config,
+        policy,
+        &st.shares,
+        tallies,
+    ))
 }
 
 /// Schedule the fleet serially on the calling thread — the reference
@@ -1068,15 +1799,75 @@ pub fn serve_slo_serial(
     config: &SloConfig,
     policy: SloPolicy,
 ) -> Result<SloReport, AdmitError> {
-    config.validate()?;
-    if tenants.is_empty() {
-        return Err(AdmitError::EmptyFleet);
+    serve_slo_serial_with(cache, tenants, config, policy, DispatchMode::Indexed)
+}
+
+/// [`serve_slo_serial`] with an explicit [`DispatchMode`].
+pub fn serve_slo_serial_with(
+    cache: &PlanCache,
+    tenants: &[SloTenant],
+    config: &SloConfig,
+    policy: SloPolicy,
+    mode: DispatchMode,
+) -> Result<SloReport, AdmitError> {
+    let mut arena = SloArena::new();
+    serve_slo_serial_in(&mut arena, cache, tenants, config, policy, mode)
+}
+
+/// Serial scheduling into a caller-owned [`SloArena`]. Warm calls with
+/// a stable fleet shape reuse every buffer; the returned report is
+/// byte-identical to [`serve_slo_serial`] (reports themselves still
+/// allocate — use [`serve_slo_digest_in`] for the allocation-free
+/// contract).
+pub fn serve_slo_serial_in(
+    arena: &mut SloArena,
+    cache: &PlanCache,
+    tenants: &[SloTenant],
+    config: &SloConfig,
+    policy: SloPolicy,
+    mode: DispatchMode,
+) -> Result<SloReport, AdmitError> {
+    let tallies = prepare_and_schedule(arena, cache, tenants, config, policy, mode)?;
+    // Split-borrow: shares are read-only while outcomes sort in place.
+    let (outcomes, shares) = (&mut arena.sched.outcomes, &arena.sched.shares);
+    Ok(summarize(outcomes, tenants, config, policy, shares, tallies))
+}
+
+/// Run the full generation + scheduling loop on a warm arena and fold
+/// the outcome digest **without building a report** — the hot path the
+/// counting-allocator test pins to zero heap traffic (with `joint_alloc`
+/// off; the joint share planner allocates per run by design). The
+/// digest is the same FNV-1a fold [`SloReport::digest`] carries, so a
+/// digest mismatch between modes is exactly a report mismatch.
+pub fn serve_slo_digest_in(
+    arena: &mut SloArena,
+    cache: &PlanCache,
+    tenants: &[SloTenant],
+    config: &SloConfig,
+    policy: SloPolicy,
+    mode: DispatchMode,
+) -> Result<u64, AdmitError> {
+    prepare_and_schedule(arena, cache, tenants, config, policy, mode)?;
+    let st = &mut arena.sched;
+    st.outcomes
+        .sort_unstable_by(|a, b| a.tenant.cmp(&b.tenant).then(a.seq.cmp(&b.seq)));
+    st.tdig.clear();
+    st.tdig.resize(tenants.len(), FNV_OFFSET);
+    for o in &st.outcomes {
+        let mut d = st.tdig[o.tenant];
+        d = fnv_fold(d, o.seq as u64);
+        d = fnv_fold(d, o.arrival_ms.to_bits());
+        d = fnv_fold(d, o.class as u64);
+        d = fnv_fold(d, o.level as u64);
+        d = fnv_fold(d, o.completion_ms.to_bits());
+        d = fnv_fold(d, u64::from(o.hit));
+        st.tdig[o.tenant] = d;
     }
-    let mut streams = Vec::with_capacity(tenants.len());
-    for t in tenants {
-        streams.push(tenant_requests(cache, t, tenants.len(), config)?);
+    let mut digest = FNV_OFFSET;
+    for (id, td) in st.tdig.iter().enumerate() {
+        digest = fnv_fold(fnv_fold(digest, id as u64), *td);
     }
-    Ok(schedule(&streams, tenants, config, policy))
+    Ok(digest)
 }
 
 #[cfg(test)]
@@ -1463,5 +2254,192 @@ mod tests {
         assert!(fleet.iter().any(|t| t.spec.strategy == Strategy::Jps));
         assert!(fleet.iter().any(|t| t.spec.strategy == Strategy::JpsBestMix));
         assert!(fleet.iter().any(|t| t.weight > 1.0));
+    }
+
+    #[test]
+    fn dispatch_modes_are_bit_identical() {
+        // The whole point of the indexed dispatcher: same bytes out,
+        // across policies, pool sizes, and the joint allocator.
+        let cache = PlanCache::new();
+        let configs = [
+            test_config(),
+            SloConfig {
+                overload: 6.0,
+                ..test_config()
+            },
+            SloConfig {
+                cloud_servers: 2,
+                ..test_config()
+            },
+            SloConfig {
+                cloud_servers: 1,
+                joint_alloc: true,
+                ..test_config()
+            },
+        ];
+        for config in &configs {
+            for profiles in [test_profiles(), cloudy_profiles()] {
+                let fleet = slo_fleet(&profiles, 8, config);
+                for policy in [SloPolicy::Fifo, SloPolicy::EdfDegrade] {
+                    let reference = serve_slo_serial_with(
+                        &cache,
+                        &fleet,
+                        config,
+                        policy,
+                        DispatchMode::Reference,
+                    )
+                    .unwrap();
+                    let indexed =
+                        serve_slo_serial_with(&cache, &fleet, config, policy, DispatchMode::Indexed)
+                            .unwrap();
+                    assert_eq!(
+                        reference, indexed,
+                        "policy={policy} C={} joint={} overload={}",
+                        config.cloud_servers, config.joint_alloc, config.overload
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heap_pick_equals_linear_argmin_on_random_queues() {
+        // Drive IndexedQueue and the linear-scan reference through the
+        // same randomized admit/dispatch/shed schedule — random
+        // weights, deadlines, priorities, service growth — and demand
+        // the exact same pick at every step.
+        let classes = SloConfig::default().spec.classes;
+        for seed in 0..12u64 {
+            let mut rng = Rng::seed_from_u64(0xD15u64.wrapping_mul(seed + 1));
+            let tcount = 2 + (rng.f64() * 6.0) as usize;
+            let weights: Vec<f64> = (0..tcount).map(|_| 0.25 + 4.0 * rng.f64()).collect();
+            let total_weight: f64 = weights.iter().sum();
+            let mut service = vec![0.0f64; tcount];
+            let mut total_service = 0.0f64;
+            let mut stats = DispatchStats::default();
+            let mut iq = IndexedQueue::default();
+            iq.reset(tcount);
+            let mut all: Vec<SloRequest> = Vec::new();
+            let mut linear: Vec<SloRequest> = Vec::new();
+            let mut seqs = vec![0usize; tcount];
+            let mut picks = 0u64;
+            for _step in 0..600 {
+                if linear.is_empty() || rng.f64() < 0.55 {
+                    let tenant = (rng.f64() * tcount as f64) as usize % tcount;
+                    let class = (rng.f64() * classes.len() as f64) as usize % classes.len();
+                    let r = SloRequest {
+                        tenant,
+                        seq: seqs[tenant],
+                        class,
+                        arrival_ms: rng.f64() * 100.0,
+                        bandwidth_mbps: 1.0 + rng.f64() * 50.0,
+                        nominal_ms: 1.0 + rng.f64() * 20.0,
+                        deadline_ms: 1.0 + rng.f64() * 5000.0,
+                    };
+                    seqs[tenant] += 1;
+                    iq.push(&r, classes[r.class].0.priority, all.len(), &mut stats);
+                    all.push(r);
+                    linear.push(r);
+                } else {
+                    iq.sweep(&service, &weights, total_weight, total_service, &mut stats);
+                    let want = dispatch_reference(
+                        &linear,
+                        &classes,
+                        &service,
+                        &weights,
+                        total_weight,
+                        total_service,
+                    );
+                    let expect = linear.remove(want);
+                    let (t, idx) = iq.pop_best(&mut stats);
+                    assert_eq!(
+                        (all[idx].tenant, all[idx].seq),
+                        (expect.tenant, expect.seq),
+                        "seed={seed} step={_step}: heap pick diverged from linear argmin"
+                    );
+                    assert_eq!(t, expect.tenant);
+                    picks += 1;
+                    // Dispatch (grow the tenant's service) or shed —
+                    // exactly the post-pick bookkeeping run_indexed does.
+                    let dispatched = rng.f64() < 0.7;
+                    if dispatched {
+                        let work = 0.5 + rng.f64() * 30.0;
+                        service[t] += work;
+                        total_service += work;
+                    }
+                    let flipped = dispatched
+                        && iq.update_over(
+                            t,
+                            &service,
+                            &weights,
+                            total_weight,
+                            total_service,
+                            &mut stats,
+                        );
+                    if !flipped {
+                        iq.push_head(t, &mut stats);
+                    }
+                }
+            }
+            assert!(picks > 100, "seed={seed}: schedule must exercise picks");
+            assert!(stats.heap_pops >= picks);
+        }
+    }
+
+    #[test]
+    fn arena_reuse_is_byte_identical_and_digest_matches_report() {
+        mcdnn_obs::set_enabled(true);
+        let config = SloConfig {
+            overload: 4.0,
+            ..test_config()
+        };
+        let fleet = slo_fleet(&test_profiles(), 6, &config);
+        let cache = PlanCache::new();
+        let mut arena = SloArena::new();
+        let ns0 = mcdnn_obs::counter_value("sched.dispatch_ns");
+        let cold = serve_slo_serial_in(
+            &mut arena,
+            &cache,
+            &fleet,
+            &config,
+            SloPolicy::EdfDegrade,
+            DispatchMode::Indexed,
+        )
+        .unwrap();
+        let stats = arena.stats();
+        assert_eq!(stats.requests, cold.total_requests);
+        assert_eq!(stats.dispatched, cold.admitted);
+        assert!(stats.schedule_ns > 0, "loop timing must be recorded");
+        assert!(stats.heap_pushes > 0 && stats.heap_pops > 0);
+        assert!(
+            stats.memo_hits > 0,
+            "repeat pricings must hit the per-run memo: {stats:?}"
+        );
+        assert!(
+            mcdnn_obs::counter_value("sched.dispatch_ns") > ns0,
+            "dispatch time must flow into the obs registry"
+        );
+        let warm = serve_slo_serial_in(
+            &mut arena,
+            &cache,
+            &fleet,
+            &config,
+            SloPolicy::EdfDegrade,
+            DispatchMode::Indexed,
+        )
+        .unwrap();
+        assert_eq!(cold, warm, "warm arena rerun must be byte-identical");
+        for mode in [DispatchMode::Indexed, DispatchMode::Reference] {
+            let digest = serve_slo_digest_in(
+                &mut arena,
+                &cache,
+                &fleet,
+                &config,
+                SloPolicy::EdfDegrade,
+                mode,
+            )
+            .unwrap();
+            assert_eq!(digest, cold.digest, "{mode:?} digest-only run drifted");
+        }
     }
 }
