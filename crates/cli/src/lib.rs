@@ -38,7 +38,7 @@ fn err(msg: impl Into<String>) -> CliError {
 
 /// Flags that stand alone — present or absent, never followed by a
 /// value. Everything else keeps the strict `--key value` grammar.
-const BOOL_FLAGS: &[&str] = &["slo"];
+const BOOL_FLAGS: &[&str] = &["slo", "adapt"];
 
 /// Parsed flag set: `--key value` pairs after the subcommand.
 struct Flags<'a> {
@@ -165,9 +165,10 @@ USAGE:
                 [--fps <rate>] [--rho <frac>] [--seed <s>] [--setup-ms <ms>]
   mcdnn serve   [--users <n>] [--bursts <k>] [--from <Mbps>] [--to <Mbps>]
                 [--fault-every <k>] [--seed <s>] [--setup-ms <ms>]
+                [--drift <w>] [--adapt]
   mcdnn serve --slo [--users <n>] [--bursts <k>] [--overload <x>]
                 [--queue <n>] [--from <Mbps>] [--to <Mbps>] [--seed <s>]
-                [--cloud-servers <C>]
+                [--cloud-servers <C>] [--drift <w>] [--adapt]
   mcdnn dot     --model <name>
 
 `plan` also accepts --svg <path> (SVG Gantt chart), --trace <path>
@@ -209,6 +210,16 @@ compares three schedulers — fifo, contention-oblivious edf-degrade
 cut/share allocator (water-filling + best-response over the bandwidth
 frontier) — and reports the joint-vs-oblivious hit-rate gap. Adds the
 sched.cloud.* counters to --emit-metrics snapshots.
+
+Both serve modes accept --drift <w> and --adapt. --drift w puts the
+*true* device speed, cloud speed and uplink on a seeded multiplicative
+random walk of half-width w (link w/2, timing jitter w/4) while the
+planner keeps executing its beliefs; --adapt closes the loop with the
+online profile estimator (debiased EWMA per layer + sliding-window
+upload regression), which re-estimates the profile, bumps its version
+and recompiles the frontier at deterministic commit boundaries. Adds
+the adapt.* counters to --emit-metrics snapshots. With --drift 0,
+--adapt is byte-identical to a non-adaptive run.
 ";
 
 /// Run the CLI on the given arguments (excluding the program name),
@@ -713,6 +724,21 @@ fn zoo_rate_profiles(setup: f64, cloud_contended: bool) -> Vec<mcdnn_partition::
         .collect()
 }
 
+/// Map the CLI's single `--drift <w>` knob onto a [`mcdnn_sim::DriftSpec`]:
+/// device walk at `w`, link walk at `w/2`, measurement jitter at `w/4`.
+fn drift_spec(flags: &Flags) -> Result<mcdnn_sim::DriftSpec, CliError> {
+    let w = flags.parse_f64_or("drift", 0.0)?;
+    if !(w.is_finite() && (0.0..1.0).contains(&w)) {
+        return Err(err("--drift expects a walk half-width in [0, 1)"));
+    }
+    Ok(mcdnn_sim::DriftSpec {
+        device_walk: w,
+        link_walk: w / 2.0,
+        jitter: w / 4.0,
+        ..mcdnn_sim::DriftSpec::none()
+    })
+}
+
 fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     if flags.has("slo") {
         return cmd_serve_slo(flags);
@@ -725,6 +751,8 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         hi_mbps: flags.parse_f64_or("to", 100.0)?,
         fault_every: flags.parse_usize_or("fault-every", 16)?,
         seed: flags.parse_u64_or("seed", 0x5EED)?,
+        drift: drift_spec(flags)?,
+        adapt: flags.has("adapt").then(AdaptConfig::default),
         ..mcdnn_sim::ServeConfig::default()
     };
     if users == 0 || config.bursts_per_user == 0 {
@@ -759,15 +787,25 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         config.lo_mbps,
         config.hi_mbps
     );
+    if config.drift.is_active() || config.adapt.is_some() {
+        let _ = writeln!(
+            out,
+            "drift: device walk {:.3}, link walk {:.3}, jitter {:.3}; adaptation {}",
+            config.drift.device_walk,
+            config.drift.link_walk,
+            config.drift.jitter,
+            if config.adapt.is_some() { "on" } else { "off" },
+        );
+    }
     let _ = writeln!(
         out,
-        "| user | model | strategy | jobs/burst | bursts | jobs | faulted | degraded | mean ms | digest |"
+        "| user | model | strategy | jobs/burst | bursts | jobs | faulted | degraded | hits | replans | gen | mean ms | digest |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|---|");
     for u in &report.users {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.1} | {:016x} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.1} | {:016x} |",
             u.id,
             u.model,
             u.strategy.label(),
@@ -776,18 +814,23 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
             u.jobs,
             u.faulted_bursts,
             u.degraded_bursts,
+            u.hits,
+            u.replans,
+            u.profile_version.generation,
             u.mean_makespan_ms,
             u.digest,
         );
     }
     let _ = writeln!(
         out,
-        "\ntotals: {} bursts, {} jobs, {} faulted, {} degraded; \
+        "\ntotals: {} bursts, {} jobs, {} faulted, {} degraded, {} hits, {} replans; \
          plan cache {} entries / {} shards; fleet digest={:016x}",
         report.total_bursts,
         report.total_jobs,
         report.total_faulted_bursts,
         report.total_degraded_bursts,
+        report.total_hits,
+        report.total_replans,
         cache.len(),
         cache.shards(),
         report.fleet_digest,
@@ -812,6 +855,8 @@ fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
         max_queue: flags.parse_usize_or("queue", 64)?,
         seed: flags.parse_u64_or("seed", 0x510_5EED)?,
         cloud_servers,
+        drift: drift_spec(flags)?,
+        adapt: flags.has("adapt").then(AdaptConfig::default),
         ..mcdnn_sim::SloConfig::default()
     };
     if tenants_n == 0 {
@@ -851,6 +896,16 @@ fn cmd_serve_slo(flags: &Flags) -> Result<String, CliError> {
             out,
             "cloud pool: {cloud_servers} shared server(s) under deterministic \
              processor-sharing"
+        );
+    }
+    if config.drift.is_active() || config.adapt.is_some() {
+        let _ = writeln!(
+            out,
+            "drift: device walk {:.3}, link walk {:.3}, jitter {:.3}; adaptation {}",
+            config.drift.device_walk,
+            config.drift.link_walk,
+            config.drift.jitter,
+            if config.adapt.is_some() { "on" } else { "off" },
         );
     }
     // FIFO and contention-oblivious EDF always run; a configured pool
@@ -1364,6 +1419,51 @@ mod tests {
         assert_eq!(out, again, "serve output must be deterministic");
         let other = run_str(&["serve", "--users", "6", "--bursts", "10", "--seed", "9"]).unwrap();
         assert_ne!(out, other, "seed must matter");
+    }
+
+    #[test]
+    fn serve_adapt_reports_replans_under_drift() {
+        let args = [
+            "serve", "--users", "4", "--bursts", "40", "--drift", "0.08", "--adapt",
+        ];
+        let out = run_str(&args).unwrap();
+        assert!(
+            out.contains("drift: device walk 0.080, link walk 0.040, jitter 0.020; adaptation on"),
+            "{out}"
+        );
+        assert!(out.contains("| hits | replans | gen |"), "{out}");
+        assert!(!out.contains(" 0 replans"), "drift must trigger replans: {out}");
+        assert_eq!(out, run_str(&args).unwrap(), "adaptive serve must be deterministic");
+        // Zero drift: adaptation never commits, so the fleet digest
+        // matches the plain run byte for byte.
+        let frozen = run_str(&["serve", "--users", "4", "--bursts", "40"]).unwrap();
+        let idle = run_str(&["serve", "--users", "4", "--bursts", "40", "--adapt"]).unwrap();
+        let digest_of = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("fleet digest="))
+                .map(str::to_owned)
+                .expect("digest line")
+        };
+        assert_eq!(digest_of(&frozen), digest_of(&idle), "zero-drift adapt must be a no-op");
+        assert!(idle.contains("0 replans"), "{idle}");
+    }
+
+    #[test]
+    fn serve_slo_accepts_adapt_and_rejects_bad_drift() {
+        let args = [
+            "serve", "--slo", "--users", "4", "--bursts", "16", "--drift", "0.08", "--adapt",
+        ];
+        let out = run_str(&args).unwrap();
+        assert!(out.contains("adaptation on"), "{out}");
+        assert_eq!(out, run_str(&args).unwrap(), "adaptive serve --slo must be deterministic");
+        assert!(run_str(&["serve", "--drift", "1.5"])
+            .unwrap_err()
+            .0
+            .contains("--drift"));
+        assert!(run_str(&["serve", "--slo", "--drift", "-0.1"])
+            .unwrap_err()
+            .0
+            .contains("--drift"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use std::sync::Arc;
 
 use mcdnn_partition::{PlanCache, Plan, RateFrontier, RateProfile, Strategy};
+use mcdnn_profile::AdaptConfig;
 use mcdnn_runtime::{worker_threads, WorkerPool};
 use mcdnn_sim::{
     serve_fleet, serve_slo, ServeConfig, ServeReport, SloConfig, SloPolicy, SloReport, SloTenant,
@@ -37,11 +38,12 @@ use crate::scenario::Scenario;
 /// Builder for [`Engine`]: every knob is optional, and an unset knob
 /// falls back to the environment-variable default the stack has always
 /// honoured (`MCDNN_THREADS`, `MCDNN_OBS`), then to the hardware.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineConfig {
     threads: Option<usize>,
     obs: Option<bool>,
     cache_shards: Option<usize>,
+    adaptation: Option<AdaptConfig>,
 }
 
 impl EngineConfig {
@@ -72,6 +74,15 @@ impl EngineConfig {
         self
     }
 
+    /// Engine-wide default for online profile learning: serving entry
+    /// points whose config leaves `adapt` unset run under this
+    /// [`AdaptConfig`]. A config that sets its own `adapt` always wins.
+    /// Unset: no adaptation unless a config asks for it.
+    pub fn adaptation(mut self, cfg: AdaptConfig) -> Self {
+        self.adaptation = Some(cfg);
+        self
+    }
+
     /// Resolve every knob (explicit → env → hardware) and build the
     /// engine.
     pub fn build(self) -> Engine {
@@ -87,6 +98,7 @@ impl EngineConfig {
             pool: WorkerPool::new(threads),
             cache,
             threads,
+            adaptation: self.adaptation,
         }
     }
 }
@@ -102,6 +114,7 @@ pub struct Engine {
     pool: WorkerPool,
     cache: Arc<PlanCache>,
     threads: usize,
+    adaptation: Option<AdaptConfig>,
 }
 
 impl Default for Engine {
@@ -141,6 +154,31 @@ impl Engine {
         &self.cache
     }
 
+    /// The engine-wide adaptation default, if one was configured.
+    pub fn adaptation(&self) -> Option<AdaptConfig> {
+        self.adaptation
+    }
+
+    /// Drop every cached frontier and bump the cache generation, so
+    /// thread-local memo slots across the process go stale at once.
+    /// The hammer to [`ProfileEstimator`](mcdnn_profile::ProfileEstimator)'s
+    /// scalpel: adaptation invalidates one tenant at a time through
+    /// versioned profiles; this invalidates everything — for cost-model
+    /// recalibrations that change profiles behind the cache's back.
+    pub fn invalidate_profiles(&self) {
+        self.cache.clear();
+    }
+
+    /// Apply the engine-wide adaptation default to a serve config that
+    /// leaves `adapt` unset.
+    fn with_adapt_default_serve(&self, config: &ServeConfig) -> ServeConfig {
+        let mut config = *config;
+        if config.adapt.is_none() {
+            config.adapt = self.adaptation;
+        }
+        config
+    }
+
     /// Plan `n` jobs for a scenario — [`Scenario::plan`] through the
     /// facade (panicking surface; see [`Engine::try_plan`]).
     pub fn plan(&self, scenario: &Scenario, strategy: Strategy, n: usize) -> Plan {
@@ -174,21 +212,30 @@ impl Engine {
     }
 
     /// Serve a multi-tenant fleet across the engine's pool
-    /// ([`mcdnn_sim::serve_fleet`] with the engine's cache).
+    /// ([`mcdnn_sim::serve_fleet`] with the engine's cache). A config
+    /// that leaves `adapt` unset inherits the engine-wide
+    /// [`EngineConfig::adaptation`] default.
     pub fn serve(&self, specs: &[UserSpec], config: &ServeConfig) -> Result<ServeReport, Error> {
-        Ok(serve_fleet(&self.pool, &self.cache, specs, config)?)
+        let config = self.with_adapt_default_serve(config);
+        Ok(serve_fleet(&self.pool, &self.cache, specs, &config)?)
     }
 
     /// Run the SLO admission-control + deadline scheduler over a tenant
     /// fleet ([`mcdnn_sim::serve_slo`] with the engine's pool and
-    /// cache). Byte-equal to the serial path at any thread count.
+    /// cache). Byte-equal to the serial path at any thread count. A
+    /// config that leaves `adapt` unset inherits the engine-wide
+    /// [`EngineConfig::adaptation`] default.
     pub fn serve_slo(
         &self,
         tenants: &[SloTenant],
         config: &SloConfig,
         policy: SloPolicy,
     ) -> Result<SloReport, Error> {
-        Ok(serve_slo(&self.pool, &self.cache, tenants, config, policy)?)
+        let mut config = config.clone();
+        if config.adapt.is_none() {
+            config.adapt = self.adaptation;
+        }
+        Ok(serve_slo(&self.pool, &self.cache, tenants, &config, policy)?)
     }
 
     /// Run a chaos drill for a scenario ([`chaos_report`]).
@@ -280,6 +327,65 @@ mod tests {
                 serve_slo_serial(&PlanCache::with_shards(1), &tenants, &config, policy).unwrap();
             assert_eq!(pooled, serial, "policy={policy}");
         }
+    }
+
+    #[test]
+    fn engine_adaptation_default_flows_into_serving() {
+        use mcdnn_sim::DriftSpec;
+        let drift = DriftSpec {
+            device_walk: 0.08,
+            link_walk: 0.04,
+            jitter: 0.02,
+            ..DriftSpec::none()
+        };
+        let config = ServeConfig {
+            bursts_per_user: 80,
+            drift,
+            ..ServeConfig::default()
+        };
+        let specs = fleet(&profiles(), 4, &config);
+        let engine = EngineConfig::new()
+            .threads(2)
+            .adaptation(AdaptConfig::default())
+            .build();
+        assert_eq!(engine.adaptation(), Some(AdaptConfig::default()));
+        // The engine's default fills the unset `adapt` knob...
+        let adaptive = engine.serve(&specs, &config).unwrap();
+        let explicit = ServeConfig {
+            adapt: Some(AdaptConfig::default()),
+            ..config
+        };
+        let reference = serve_fleet_serial(&PlanCache::with_shards(1), &specs, &explicit).unwrap();
+        assert_eq!(adaptive, reference);
+        assert!(adaptive.total_replans > 0, "drift must trigger adaptation");
+        // ...and an explicitly set knob always wins over the default.
+        let frozen_engine = EngineConfig::new()
+            .threads(2)
+            .adaptation(AdaptConfig {
+                gate: 1e12,
+                ..AdaptConfig::default()
+            })
+            .build();
+        let overridden = frozen_engine.serve(&specs, &explicit).unwrap();
+        assert_eq!(overridden, reference);
+    }
+
+    #[test]
+    fn invalidate_profiles_evicts_every_cached_frontier() {
+        let engine = EngineConfig::new().threads(1).build();
+        let p = &profiles()[0];
+        let a = engine.frontier(p, Strategy::Jps, 4, 1.0, 100.0).unwrap();
+        let b = engine.frontier(p, Strategy::Jps, 4, 1.0, 100.0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "warm fetch hits the cache");
+        assert!(!engine.cache().is_empty());
+        engine.invalidate_profiles();
+        assert!(engine.cache().is_empty());
+        let c = engine.frontier(p, Strategy::Jps, 4, 1.0, 100.0).unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "generation bump must force a recompile"
+        );
+        assert_eq!(a.breakpoints(), c.breakpoints(), "same plan, fresh storage");
     }
 
     #[test]

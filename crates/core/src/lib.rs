@@ -68,6 +68,9 @@ pub mod prelude {
     pub use mcdnn_graph::{DnnGraph, LayerKind, LineDnn, TensorShape};
     pub use mcdnn_models::Model;
     pub use mcdnn_partition::{Plan, PlanError, Strategy};
-    pub use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, NetworkModel, ProfileError};
-    pub use mcdnn_sim::{simulate, DesConfig, ExecutorConfig};
+    pub use mcdnn_profile::{
+        AdaptConfig, CloudModel, CostProfile, DeviceModel, NetworkModel, ProfileError,
+        ProfileEstimator, ProfileVersion,
+    };
+    pub use mcdnn_sim::{simulate, DesConfig, DriftSpec, ExecutorConfig};
 }

@@ -36,7 +36,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 
 use mcdnn_flowshop::kernels::{two_type_mix_makespan, uniform_makespan};
 use mcdnn_graph::LineDnn;
-use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, ProfileError};
+use mcdnn_profile::{CloudModel, CostProfile, DeviceModel, ProfileError, ProfileVersion};
 
 use crate::error::PlanError;
 use crate::jps::{winning_candidate, Candidate};
@@ -54,6 +54,13 @@ pub struct RateProfile {
     bytes: Vec<usize>,
     cloud_ms: Vec<f64>,
     setup_ms: f64,
+    /// Re-estimation generation: 0 for a factory-calibrated profile,
+    /// bumped by each committed online re-estimate (see
+    /// [`RateProfile::reestimated`]). Part of the cache key, so a
+    /// tenant's commit can never alias a stale cached frontier even if
+    /// the re-estimated stage vectors happen to round back to the old
+    /// bits.
+    generation: u64,
 }
 
 impl RateProfile {
@@ -81,6 +88,7 @@ impl RateProfile {
             bytes,
             cloud_ms,
             setup_ms,
+            generation: 0,
         }
     }
 
@@ -104,6 +112,7 @@ impl RateProfile {
             bytes,
             cloud_ms,
             setup_ms,
+            generation: 0,
         };
         // g at any bandwidth has the same zero pattern; probe at 1 Mbps.
         rate.try_profile_at(1.0).map(|_| rate)
@@ -122,6 +131,99 @@ impl RateProfile {
     /// Channel setup latency, ms.
     pub fn setup_ms(&self) -> f64 {
         self.setup_ms
+    }
+
+    /// Re-estimation generation (0 = factory calibration).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The same profile stamped with an explicit generation — how an
+    /// online estimator marks the profile it rebuilt after its
+    /// `generation`-th commit. The stamp participates in cache keys and
+    /// [`PartialEq`], so even a re-estimate whose stage vectors round
+    /// back to the previous bits reads as a distinct profile.
+    pub fn with_generation(self, generation: u64) -> Self {
+        RateProfile { generation, ..self }
+    }
+
+    /// Monotone version stamp: the generation plus an FNV-1a digest of
+    /// the full content (stage bits, bytes, setup, generation) — the
+    /// key identity the plan cache and the per-thread memo discriminate
+    /// on. Equal versions ⇒ bit-identical profiles.
+    pub fn version(&self) -> ProfileVersion {
+        ProfileVersion {
+            generation: self.generation,
+            digest: profile_digest(self),
+        }
+    }
+
+    /// Rebuild this profile under committed estimator scales: per-layer
+    /// device multipliers (`device_scales[l]` scales `f(l)`; index 0 is
+    /// ignored — `f(0) = 0` by construction), one cloud multiplier, a
+    /// multiplier on upload volume (the re-learned `w1` slope of the
+    /// paper's `t = w0 + w1·r` regression, base 1), and the re-learned
+    /// channel setup `w0` in ms.
+    ///
+    /// Commits are **absolute**: always rebuild from the factory base
+    /// profile with the estimator's *current* committed scales, never
+    /// from a previous re-estimate — repeated commits cannot compound
+    /// rounding drift. Two projections keep the result inside the JPS
+    /// theory's clustered shape whatever the estimates say:
+    ///
+    /// * `f` is clamped to its running maximum (a per-layer scale
+    ///   estimate cannot make the mobile prefix time decrease in `l`);
+    /// * bytes scale uniformly and round, which preserves the
+    ///   non-increasing upload-volume property and `bytes[k] = 0`.
+    ///
+    /// The returned profile keeps this profile's generation; callers
+    /// stamp the estimator's commit count via
+    /// [`RateProfile::with_generation`].
+    pub fn reestimated(
+        &self,
+        device_scales: &[f64],
+        cloud_scale: f64,
+        upload_scale: f64,
+        setup_ms: f64,
+    ) -> RateProfile {
+        let scale_at = |l: usize| -> f64 {
+            let s = device_scales.get(l).copied().unwrap_or(1.0);
+            if s.is_finite() && s > 0.0 {
+                s
+            } else {
+                1.0
+            }
+        };
+        let mut f_ms = Vec::with_capacity(self.f_ms.len());
+        let mut running_max = 0.0f64;
+        for (l, &f) in self.f_ms.iter().enumerate() {
+            running_max = running_max.max(f * scale_at(l));
+            f_ms.push(running_max);
+        }
+        let upload_scale = if upload_scale.is_finite() && upload_scale > 0.0 {
+            upload_scale
+        } else {
+            1.0
+        };
+        let bytes = self
+            .bytes
+            .iter()
+            .map(|&b| (b as f64 * upload_scale).round() as usize)
+            .collect();
+        let cloud_scale = if cloud_scale.is_finite() && cloud_scale > 0.0 {
+            cloud_scale
+        } else {
+            1.0
+        };
+        let cloud_ms = self.cloud_ms.iter().map(|&c| c * cloud_scale).collect();
+        RateProfile {
+            name: self.name.clone(),
+            f_ms,
+            bytes,
+            cloud_ms,
+            setup_ms: if setup_ms.is_finite() { setup_ms.max(0.0) } else { self.setup_ms },
+            generation: self.generation,
+        }
     }
 
     /// Upload volume in bytes at cut `l`.
@@ -757,17 +859,10 @@ fn fnv_fold(h: u64, v: u64) -> u64 {
     (h ^ v).wrapping_mul(FNV_PRIME)
 }
 
-/// Content hash of a cache query — profile stage bits, strategy, job
-/// count, range — computed once per lookup with zero allocation. The
-/// profile *name* is deliberately excluded: the cache is keyed by
-/// content (see the module docs).
-fn content_hash(
-    profile: &RateProfile,
-    strategy: Strategy,
-    n: usize,
-    lo_mbps: f64,
-    hi_mbps: f64,
-) -> u64 {
+/// FNV-1a digest of a profile's content — stage bits, bytes, setup,
+/// generation; name excluded. The digest half of
+/// [`RateProfile::version`] and the profile part of the cache key.
+fn profile_digest(profile: &RateProfile) -> u64 {
     let mut h = FNV_OFFSET;
     h = fnv_fold(h, profile.f_ms.len() as u64);
     for v in &profile.f_ms {
@@ -780,6 +875,23 @@ fn content_hash(
         h = fnv_fold(h, v.to_bits());
     }
     h = fnv_fold(h, profile.setup_ms.to_bits());
+    fnv_fold(h, profile.generation)
+}
+
+/// Content hash of a cache query — profile stage bits + generation,
+/// strategy, job count, range — computed once per lookup with zero
+/// allocation. The profile *name* is deliberately excluded: the cache
+/// is keyed by content (see the module docs). The generation *is*
+/// included, so a tenant's re-estimated profile keys fresh slots and
+/// its stale memo entries go cold rather than aliasing.
+fn content_hash(
+    profile: &RateProfile,
+    strategy: Strategy,
+    n: usize,
+    lo_mbps: f64,
+    hi_mbps: f64,
+) -> u64 {
+    let mut h = profile_digest(profile);
     h = fnv_fold(h, strategy as u64);
     h = fnv_fold(h, n as u64);
     h = fnv_fold(h, lo_mbps.to_bits());
@@ -788,9 +900,11 @@ fn content_hash(
 
 /// Bitwise content equality of two profiles, name excluded — the
 /// collision check behind the pre-hash. Borrows both sides; nothing is
-/// materialized.
+/// materialized. Generations must match: an estimator commit is a new
+/// identity even when the rebuilt stage vectors are bit-equal.
 fn profile_content_eq(a: &RateProfile, b: &RateProfile) -> bool {
-    a.f_ms.len() == b.f_ms.len()
+    a.generation == b.generation
+        && a.f_ms.len() == b.f_ms.len()
         && a.setup_ms.to_bits() == b.setup_ms.to_bits()
         && a.bytes == b.bytes
         && a.f_ms.iter().zip(&b.f_ms).all(|(x, y)| x.to_bits() == y.to_bits())
@@ -1313,6 +1427,99 @@ mod tests {
             hits >= 32,
             "second round-robin pass over 64 keys must be mostly memo-served, got {hits}/64"
         );
+    }
+
+    #[test]
+    fn generation_bump_evicts_exactly_the_bumped_tenants_memo_slots() {
+        // The drift-adaptation contract: when tenant A's estimator
+        // commits (bumping A's profile generation), A's next fetch must
+        // recompile — the 128-slot thread-local memo must not serve the
+        // stale generation — while tenant B's memo slots and A's *old*
+        // generation keep answering without touching a shard lock.
+        mcdnn_obs::set_enabled(true);
+        let cache = PlanCache::new();
+        let a0 = rate_profile();
+        let b0 = RateProfile::from_parts(
+            "tenant-b",
+            vec![0.0, 3.0, 9.0, 15.0],
+            vec![90_000, 40_000, 10_000, 0],
+            1.5,
+            None,
+        )
+        .unwrap();
+        // Warm both tenants into the memo.
+        let fa0 = cache.frontier(&a0, Strategy::Jps, 6, 0.1, 80.0).unwrap();
+        let fb0 = cache.frontier(&b0, Strategy::Jps, 6, 0.1, 80.0).unwrap();
+        let _ = cache.frontier(&a0, Strategy::Jps, 6, 0.1, 80.0).unwrap();
+        let _ = cache.frontier(&b0, Strategy::Jps, 6, 0.1, 80.0).unwrap();
+
+        // Tenant A commits: same stage content, bumped generation.
+        let a1 = a0.clone().with_generation(1);
+        assert_ne!(a0.version(), a1.version());
+        assert_eq!(a1.version().generation, 1);
+        let miss0 = mcdnn_obs::counter_value("frontier.cache.miss");
+        let fa1 = cache.frontier(&a1, Strategy::Jps, 6, 0.1, 80.0).unwrap();
+        assert_eq!(
+            mcdnn_obs::counter_value("frontier.cache.miss") - miss0,
+            1,
+            "the bumped generation is a new key: must compile, not serve gen 0"
+        );
+        assert!(
+            !Arc::ptr_eq(&fa0, &fa1),
+            "stale generation must not resurface for the bumped tenant"
+        );
+        assert_eq!(
+            fa0.breakpoints(),
+            fa1.breakpoints(),
+            "identical stage content recompiles to an identical frontier"
+        );
+
+        // Tenant B is untouched: memo-served, no lock, same Arc.
+        let memo0 = mcdnn_obs::counter_value("frontier.shard.memo_hits");
+        let miss1 = mcdnn_obs::counter_value("frontier.cache.miss");
+        let fb1 = cache.frontier(&b0, Strategy::Jps, 6, 0.1, 80.0).unwrap();
+        assert!(Arc::ptr_eq(&fb0, &fb1), "other tenants' frontiers stay shared");
+        assert_eq!(
+            mcdnn_obs::counter_value("frontier.shard.memo_hits") - memo0,
+            1,
+            "the bump must not evict other tenants' memo slots"
+        );
+        // A's old generation also keeps its slot (lazy invalidation:
+        // old entries age out, they are not clobbered).
+        let fa0_again = cache.frontier(&a0, Strategy::Jps, 6, 0.1, 80.0).unwrap();
+        assert!(Arc::ptr_eq(&fa0, &fa0_again));
+        assert_eq!(
+            mcdnn_obs::counter_value("frontier.cache.miss") - miss1,
+            0,
+            "neither fetch after the bump may miss"
+        );
+    }
+
+    #[test]
+    fn reestimated_rescales_and_projects_to_the_clustered_shape() {
+        let rate = rate_profile(); // f = [0,4,7,20], bytes = [120k,60k,20k,0]
+        // Per-layer scales that would break monotonicity raw: layer 1
+        // slows 3x (f=12) while layer 2 speeds up (f=5.6 < 12).
+        let scales = [1.0, 3.0, 0.8, 1.0];
+        let re = rate.reestimated(&scales, 2.0, 1.25, 5.0);
+        assert_eq!(re.mobile_ms(0), 0.0, "f(0) stays zero");
+        assert_eq!(re.mobile_ms(1), 12.0);
+        assert_eq!(re.mobile_ms(2), 12.0, "cummax projection keeps f monotone");
+        assert_eq!(re.mobile_ms(3), 20.0);
+        assert!(re.check_monotone().is_ok());
+        assert_eq!(re.bytes(0), 150_000);
+        assert_eq!(re.bytes(3), 0, "local-only cut still uploads nothing");
+        assert_eq!(re.setup_ms(), 5.0);
+        assert_eq!(re.cloud_stage_ms(0), 2.0 * rate.cloud_stage_ms(0));
+        // Absolute rebuild: re-estimating the *base* twice with the
+        // same scales is idempotent (no compounding).
+        let re2 = rate.reestimated(&scales, 2.0, 1.25, 5.0);
+        assert_eq!(re, re2);
+        // Garbage scales fall back to identity rather than poisoning.
+        let safe = rate.reestimated(&[f64::NAN; 4], -1.0, f64::INFINITY, f64::NAN);
+        assert_eq!(safe.mobile_ms(3), rate.mobile_ms(3));
+        assert_eq!(safe.bytes(0), rate.bytes(0));
+        assert_eq!(safe.setup_ms(), rate.setup_ms());
     }
 
     #[test]

@@ -259,6 +259,25 @@ impl CostProfile {
             .expect("f(k) >= 0 = g(k) guarantees existence")
     }
 
+    /// Version stamp of this profile: generation 0 (a `CostProfile` is
+    /// an immutable snapshot at one fixed bandwidth — re-estimation
+    /// builds a *new* profile) plus an FNV-1a digest over the stage
+    /// vectors. Two profiles with equal digests carry bit-identical
+    /// `(f, g, cloud)` content; the name is deliberately excluded so
+    /// renamed but identical workloads share a version.
+    pub fn version(&self) -> crate::adapt::ProfileVersion {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let fold = |h: u64, v: u64| (h ^ v).wrapping_mul(PRIME);
+        let mut h = fold(OFFSET, self.f_ms.len() as u64);
+        for vec in [&self.f_ms, &self.g_ms, &self.cloud_ms] {
+            for &v in vec.iter() {
+                h = fold(h, v.to_bits());
+            }
+        }
+        crate::adapt::ProfileVersion::base(h)
+    }
+
     /// Local-only latency: run everything on the mobile device.
     pub fn local_only_ms(&self) -> f64 {
         self.f(self.k())
@@ -418,6 +437,16 @@ mod tests {
         assert!(ProfileError::NonzeroF0 { value: 1.0 }
             .to_string()
             .contains("f(0) must be 0"));
+    }
+
+    #[test]
+    fn version_digests_content_not_name() {
+        let a = CostProfile::from_vectors("a", vec![0.0, 2.0], vec![5.0, 0.0], None);
+        let b = CostProfile::from_vectors("b", vec![0.0, 2.0], vec![5.0, 0.0], None);
+        let c = CostProfile::from_vectors("a", vec![0.0, 3.0], vec![5.0, 0.0], None);
+        assert_eq!(a.version(), b.version(), "name excluded from the digest");
+        assert_ne!(a.version(), c.version(), "content folded into the digest");
+        assert_eq!(a.version().generation, 0);
     }
 
     #[test]

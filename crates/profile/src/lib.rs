@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod cost;
 pub mod device;
 pub mod energy;
@@ -29,6 +30,7 @@ pub mod measure;
 pub mod network;
 pub mod regression;
 
+pub use adapt::{AdaptConfig, Ewma, ProfileEstimator, ProfileVersion, WindowRegression};
 pub use cost::{CostProfile, ProfileError};
 pub use device::{CloudModel, DeviceModel};
 pub use energy::EnergyModel;

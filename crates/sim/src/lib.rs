@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adapt;
 pub mod degrade;
 pub mod des;
 pub mod executor;
@@ -35,6 +36,7 @@ pub mod stream;
 pub mod trace;
 pub mod validate;
 
+pub use adapt::DriftSpec;
 pub use degrade::{
     ladder_decision, run_degraded, run_degraded_via, BurstRecord, DegradePolicy, DegradedRun,
     LadderDecision, LadderFrontier, LadderLevel,

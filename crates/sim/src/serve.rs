@@ -35,14 +35,30 @@
 //! structure, ladder level, makespan bits and fault-event fields; the
 //! fleet digest folds the user digests in id order. Equal digests ⇒
 //! bit-identical serving histories.
+//!
+//! Drift and adaptation: with [`ServeConfig::drift`] active, each
+//! session's *true* device/cloud/link parameters follow a seeded
+//! random walk ([`DriftSpec`]) that never touches the session's main
+//! RNG — planning still uses the believed frontier, but executed
+//! stage times come from the factory profile under the truth scales.
+//! With [`ServeConfig::adapt`] set, a [`ProfileEstimator`] observes
+//! every realized stage and, at deterministic `commit_every`
+//! boundaries, [`UserSession::maybe_adapt`] commits gated estimates,
+//! rebuilds the believed profile from the factory base (stamped with
+//! the estimator's generation so the [`PlanCache`] can never alias a
+//! stale frontier) and recompiles the ladder. A zero-drift run with
+//! adaptation enabled observes ratios of exactly 1.0, never crosses
+//! the commit gate, and stays byte-identical to an adapt-off run.
 
 use std::sync::Arc;
 
 use mcdnn_flowshop::FlowJob;
 use mcdnn_partition::{CutMix, PlanCache, PlanError, RateFrontier, RateProfile, Strategy};
+use mcdnn_profile::{AdaptConfig, ProfileEstimator, ProfileVersion};
 use mcdnn_rng::Rng;
 use mcdnn_runtime::WorkerPool;
 
+use crate::adapt::{DriftSpec, DriftState};
 use crate::degrade::{LadderFrontier, LadderLevel};
 use crate::des::{DesArena, DesConfig, FaultedRun};
 use crate::fault::{FaultEventKind, FaultPlan, FaultSpec, RetryPolicy};
@@ -75,6 +91,12 @@ pub struct ServeConfig {
     pub fault_every: usize,
     /// Seed for fleet generation; per-user seeds derive from it.
     pub seed: u64,
+    /// Random walk on each session's true platform parameters
+    /// ([`DriftSpec::none`] = believed times are exact).
+    pub drift: DriftSpec,
+    /// Online profile learning: `Some` feeds realized timings through a
+    /// per-session [`ProfileEstimator`] and replans on gated commits.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +110,8 @@ impl Default for ServeConfig {
             degrade_prob: 0.05,
             fault_every: 0,
             seed: 0x5EED,
+            drift: DriftSpec::none(),
+            adapt: None,
         }
     }
 }
@@ -155,6 +179,13 @@ pub struct BurstOutcome {
     pub faulted: bool,
 }
 
+/// A session's online-learning state: the estimator plus the config it
+/// commits under.
+struct AdaptState {
+    cfg: AdaptConfig,
+    estimator: ProfileEstimator,
+}
+
 /// One user's live serving state. See the module docs for the
 /// steady-state allocation contract.
 pub struct UserSession {
@@ -162,13 +193,21 @@ pub struct UserSession {
     n_jobs: usize,
     strategy: Strategy,
     frontier: Arc<RateFrontier>,
+    /// The factory-calibrated frontier the session opened with: the
+    /// anchor for truth timings, estimator ratios and the drift hit
+    /// deadline. Never replaced by adaptation.
+    base_frontier: Arc<RateFrontier>,
     ladder: LadderFrontier,
     rng: Rng,
     bandwidth: f64,
     lo_mbps: f64,
     hi_mbps: f64,
+    target_hz: f64,
+    rho_limit: f64,
     degrade_prob: f64,
     fault_every: usize,
+    truth: Option<DriftState>,
+    adapt: Option<AdaptState>,
     /// Reused job buffer — refilled in place every burst.
     jobs: Vec<FlowJob>,
     /// Identity admission order (the frontier's layout is already the
@@ -176,10 +215,13 @@ pub struct UserSession {
     order: Vec<usize>,
     arena: DesArena,
     burst_index: usize,
+    last_replan_burst: usize,
     bursts: u64,
     jobs_done: u64,
     faulted_bursts: u64,
     degraded_bursts: u64,
+    hits: u64,
+    replans: u64,
     makespan_sum_ms: f64,
     digest: u64,
 }
@@ -222,27 +264,43 @@ impl UserSession {
         );
         let mut rng = Rng::seed_from_u64(spec.seed);
         let bandwidth = config.lo_mbps * (config.hi_mbps / config.lo_mbps).powf(rng.f64());
+        let truth = config
+            .drift
+            .is_active()
+            .then(|| DriftState::new(&config.drift, spec.seed));
+        let adapt = config.adapt.map(|cfg| AdaptState {
+            cfg,
+            estimator: ProfileEstimator::new(spec.profile.k(), spec.profile.setup_ms(), cfg),
+        });
         mcdnn_obs::counter_add("serve.sessions", 1);
         Ok(UserSession {
             id: spec.id,
             n_jobs: spec.n_jobs,
             strategy: spec.strategy,
+            base_frontier: Arc::clone(&frontier),
             frontier,
             ladder,
             rng,
             bandwidth,
             lo_mbps: config.lo_mbps,
             hi_mbps: config.hi_mbps,
+            target_hz: config.target_hz,
+            rho_limit: config.rho_limit,
             degrade_prob: config.degrade_prob,
             fault_every: config.fault_every,
+            truth,
+            adapt,
             jobs: Vec::with_capacity(spec.n_jobs),
             order: (0..spec.n_jobs).collect(),
             arena: DesArena::new(),
             burst_index: 0,
+            last_replan_burst: 0,
             bursts: 0,
             jobs_done: 0,
             faulted_bursts: 0,
             degraded_bursts: 0,
+            hits: 0,
+            replans: 0,
             makespan_sum_ms: 0.0,
             digest: FNV_OFFSET,
         })
@@ -255,6 +313,12 @@ impl UserSession {
     /// the module docs).
     pub fn admit_burst(&mut self) -> BurstOutcome {
         self.burst_index += 1;
+        // The truth walk advances once per burst from its own RNG
+        // streams — the session's main RNG below draws exactly the
+        // same values whether drift is on or off.
+        if let Some(truth) = self.truth.as_mut() {
+            truth.step();
+        }
         // Multiplicative bandwidth walk, clamped inside the compiled
         // range (an out-of-range query would fall back to a direct —
         // allocating — planning pass).
@@ -313,9 +377,98 @@ impl UserSession {
         };
         let local_fallback_ms = profile.mobile_ms(k) - profile.mobile_ms(fallback_cut);
         let kernel_ms = profile.mix_makespan(self.n_jobs, mix, b_eff);
+
+        // Executed stage times. Planning above used the believed
+        // frontier; execution runs on the *true* platform — the factory
+        // profile under the truth walk (identity scales without drift),
+        // never the believed profile, so the estimator measures the
+        // world rather than its own beliefs. With neither drift nor
+        // adaptation this block is skipped and the believed times are
+        // executed directly, bit-identically to earlier releases.
+        let (cut1, cut2) = match mix {
+            CutMix::Uniform { cut } => (cut, cut),
+            CutMix::Mix { prev, star, .. } => (prev, star),
+        };
+        let realized = if self.truth.is_some() {
+            let base = self.base_frontier.profile();
+            let (device_scale, link_scale) = self
+                .truth
+                .as_ref()
+                .map_or((1.0, 1.0), |t| (t.device_scale, t.link_scale));
+            let b_true = b_eff * link_scale;
+            let truth = &mut self.truth;
+            let jitter = |t: &mut Option<DriftState>| t.as_mut().map_or(1.0, |s| s.jitter_factor());
+            let rf1 = base.mobile_ms(cut1) * device_scale * jitter(truth);
+            let rg1 = base.upload_ms_at(cut1, b_true) * jitter(truth);
+            let (rf2, rg2) = match mix {
+                CutMix::Uniform { .. } => (0.0, 0.0),
+                CutMix::Mix { .. } => (
+                    base.mobile_ms(cut2) * device_scale * jitter(truth),
+                    base.upload_ms_at(cut2, b_true) * jitter(truth),
+                ),
+            };
+            Some((rf1, rg1, rf2, rg2))
+        } else {
+            None
+        };
+
+        // Feed every realized stage back through the estimator: device
+        // ratios against the factory base, upload samples as (paper's
+        // r at nominal bandwidth, realized ms). In-place EWMA and ring
+        // writes — allocation-free.
+        if let Some(adapt) = self.adapt.as_mut() {
+            if let Some((rf1, rg1, rf2, rg2)) = realized {
+                let base = self.base_frontier.profile();
+                let bf1 = base.mobile_ms(cut1);
+                if bf1 > 0.0 {
+                    adapt.estimator.observe_device(cut1, rf1 / bf1);
+                }
+                if base.bytes(cut1) > 0 {
+                    let r = base.bytes(cut1) as f64 * 8.0 / (b_eff * 1e3);
+                    adapt.estimator.observe_upload(r, rg1);
+                }
+                if matches!(mix, CutMix::Mix { .. }) {
+                    let bf2 = base.mobile_ms(cut2);
+                    if bf2 > 0.0 {
+                        adapt.estimator.observe_device(cut2, rf2 / bf2);
+                    }
+                    if base.bytes(cut2) > 0 {
+                        let r = base.bytes(cut2) as f64 * 8.0 / (b_eff * 1e3);
+                        adapt.estimator.observe_upload(r, rg2);
+                    }
+                }
+            } else {
+                // Without drift the true platform *is* the factory
+                // profile, and the believed profile never leaves
+                // generation 0 (neutral evidence cannot cross the
+                // gate), so realized == believed bit-for-bit: feed
+                // unit ratios and the already-computed believed upload
+                // times instead of recomputing them — the estimator
+                // state is bitwise the same either way, at a fraction
+                // of the per-burst cost.
+                if f1 > 0.0 {
+                    adapt.estimator.observe_device(cut1, 1.0);
+                }
+                if profile.bytes(cut1) > 0 {
+                    let r = profile.bytes(cut1) as f64 * 8.0 / (b_eff * 1e3);
+                    adapt.estimator.observe_upload(r, g1);
+                }
+                if matches!(mix, CutMix::Mix { .. }) {
+                    if f2 > 0.0 {
+                        adapt.estimator.observe_device(cut2, 1.0);
+                    }
+                    if profile.bytes(cut2) > 0 {
+                        let r = profile.bytes(cut2) as f64 * 8.0 / (b_eff * 1e3);
+                        adapt.estimator.observe_upload(r, g2);
+                    }
+                }
+            }
+        }
+
+        let (ef1, eg1, ef2, eg2) = realized.unwrap_or((f1, g1, f2, g2));
         self.jobs.clear();
         for j in 0..self.n_jobs {
-            let (f, g) = if j < first_n { (f1, g1) } else { (f2, g2) };
+            let (f, g) = if j < first_n { (ef1, eg1) } else { (ef2, eg2) };
             self.jobs.push(FlowJob::two_stage(j, f, g));
         }
 
@@ -383,6 +536,18 @@ impl UserSession {
         d = fnv_fold(d, events_digest);
         self.digest = d;
 
+        // Drift hit metric: the burst hits when its realized makespan
+        // stays within `slack ×` the factory frontier's optimal at this
+        // bandwidth — a fixed reference, identical for adaptive and
+        // frozen runs, so hit counts are directly comparable.
+        let hit = match self.truth.as_ref() {
+            Some(t) => makespan_ms <= t.spec().slack * self.base_frontier.makespan_at(b_eff),
+            None => true,
+        };
+        if hit {
+            self.hits += 1;
+        }
+
         self.bursts += 1;
         self.jobs_done += self.n_jobs as u64;
         self.makespan_sum_ms += makespan_ms;
@@ -409,6 +574,66 @@ impl UserSession {
         }
     }
 
+    /// Commit gated estimates and replan if this burst index sits on a
+    /// `commit_every` boundary and the estimator's confidence gate is
+    /// crossed. On a commit, the believed profile is rebuilt **from the
+    /// factory base** under the committed scales, stamped with the
+    /// estimator's generation, refetched through the shared cache (a
+    /// new generation can never alias a stale frontier) and the ladder
+    /// recompiled. Returns `true` only when a replan happened; without
+    /// adaptation, or between boundaries, or while the gate holds, this
+    /// is a read-only, allocation-free check.
+    pub fn maybe_adapt(&mut self, cache: &PlanCache) -> Result<bool, PlanError> {
+        let Some(adapt) = self.adapt.as_mut() else {
+            return Ok(false);
+        };
+        let every = adapt.cfg.commit_every;
+        if every == 0 || !self.burst_index.is_multiple_of(every) {
+            return Ok(false);
+        }
+        if !adapt.estimator.commit() {
+            return Ok(false);
+        }
+        mcdnn_obs::counter_add("adapt.commits", 1);
+        let est = &adapt.estimator;
+        let base = self.base_frontier.profile();
+        if let Some(truth) = self.truth.as_ref() {
+            let committed = est.device_scales()[base.k()];
+            let err = (committed - truth.device_scale).abs() / truth.device_scale.max(1e-9);
+            mcdnn_obs::observe_ms("adapt.est_err_rel", err);
+        }
+        let believed = base
+            .reestimated(
+                est.device_scales(),
+                est.cloud_scale(),
+                est.upload_scale(),
+                est.setup_ms(),
+            )
+            .with_generation(est.commits());
+        self.frontier = cache.frontier(
+            &believed,
+            self.strategy,
+            self.n_jobs,
+            self.lo_mbps,
+            self.hi_mbps,
+        )?;
+        let mid = (self.lo_mbps * self.hi_mbps).sqrt();
+        self.ladder = LadderFrontier::compile(
+            &believed.profile_at(mid),
+            self.target_hz,
+            self.rho_limit,
+            self.n_jobs,
+        );
+        mcdnn_obs::counter_add("adapt.recompiles", 1);
+        mcdnn_obs::observe_ms(
+            "adapt.staleness_bursts",
+            (self.burst_index - self.last_replan_burst) as f64,
+        );
+        self.last_replan_burst = self.burst_index;
+        self.replans += 1;
+        Ok(true)
+    }
+
     /// Close the session into its summary.
     pub fn finish(self) -> UserSummary {
         UserSummary {
@@ -420,11 +645,14 @@ impl UserSession {
             jobs: self.jobs_done,
             faulted_bursts: self.faulted_bursts,
             degraded_bursts: self.degraded_bursts,
+            hits: self.hits,
+            replans: self.replans,
             mean_makespan_ms: if self.bursts == 0 {
                 0.0
             } else {
                 self.makespan_sum_ms / self.bursts as f64
             },
+            profile_version: self.frontier.profile().version(),
             digest: self.digest,
         }
     }
@@ -449,8 +677,16 @@ pub struct UserSummary {
     pub faulted_bursts: u64,
     /// Bursts that saw a degraded link.
     pub degraded_bursts: u64,
+    /// Bursts whose realized makespan met the drift deadline
+    /// (`= bursts` whenever drift is inactive).
+    pub hits: u64,
+    /// Frontier recompiles triggered by estimator commits.
+    pub replans: u64,
     /// Mean DES makespan per burst, ms.
     pub mean_makespan_ms: f64,
+    /// Version of the believed profile the session ended on
+    /// (generation 0 unless adaptation committed).
+    pub profile_version: ProfileVersion,
     /// FNV-1a digest of the full burst history (see module docs).
     pub digest: u64,
 }
@@ -465,6 +701,7 @@ pub fn run_user(
     let mut session = UserSession::start(cache, spec, config)?;
     for _ in 0..config.bursts_per_user {
         session.admit_burst();
+        session.maybe_adapt(cache)?;
     }
     mcdnn_obs::counter_add("serve.users", 1);
     Ok(session.finish())
@@ -484,6 +721,10 @@ pub struct ServeReport {
     pub total_faulted_bursts: u64,
     /// Total degraded bursts.
     pub total_degraded_bursts: u64,
+    /// Total bursts meeting the drift deadline.
+    pub total_hits: u64,
+    /// Total adaptation replans across the fleet.
+    pub total_replans: u64,
     /// FNV-1a fold of the user digests in id order.
     pub fleet_digest: u64,
 }
@@ -492,12 +733,15 @@ pub struct ServeReport {
 fn aggregate(users: Vec<UserSummary>) -> ServeReport {
     let mut fleet_digest = FNV_OFFSET;
     let (mut bursts, mut jobs, mut faulted, mut degraded) = (0, 0, 0, 0);
+    let (mut hits, mut replans) = (0, 0);
     for u in &users {
         fleet_digest = fnv_fold(fnv_fold(fleet_digest, u.id as u64), u.digest);
         bursts += u.bursts;
         jobs += u.jobs;
         faulted += u.faulted_bursts;
         degraded += u.degraded_bursts;
+        hits += u.hits;
+        replans += u.replans;
     }
     ServeReport {
         users,
@@ -505,6 +749,8 @@ fn aggregate(users: Vec<UserSummary>) -> ServeReport {
         total_jobs: jobs,
         total_faulted_bursts: faulted,
         total_degraded_bursts: degraded,
+        total_hits: hits,
+        total_replans: replans,
         fleet_digest,
     }
 }
@@ -661,6 +907,85 @@ mod tests {
         let a = run_user(&cache, &specs[0], &config).unwrap();
         let b = run_user(&cache, &other, &config).unwrap();
         assert_ne!(a.digest, b.digest, "digest must track the trace seed");
+    }
+
+    fn drift_config() -> ServeConfig {
+        ServeConfig {
+            bursts_per_user: 150,
+            fault_every: 0,
+            degrade_prob: 0.0,
+            drift: DriftSpec {
+                device_walk: 0.08,
+                link_walk: 0.04,
+                jitter: 0.02,
+                ..DriftSpec::none()
+            },
+            adapt: Some(AdaptConfig::default()),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_drift_adaptation_is_byte_identical_to_adapt_off() {
+        let mut config = test_config();
+        let specs = fleet(&test_profiles(), 6, &config);
+        let off = serve_fleet_serial(&PlanCache::new(), &specs, &config).unwrap();
+        config.adapt = Some(AdaptConfig::default());
+        let on = serve_fleet_serial(&PlanCache::new(), &specs, &config).unwrap();
+        assert_eq!(off.fleet_digest, on.fleet_digest);
+        assert_eq!(on.total_replans, 0, "ratios of exactly 1.0 never cross the gate");
+        for u in &on.users {
+            assert_eq!(u.profile_version.generation, 0);
+            assert_eq!(u.hits, u.bursts, "no drift ⇒ every burst hits");
+        }
+    }
+
+    #[test]
+    fn drift_adaptive_report_is_invariant_across_worker_counts() {
+        let config = drift_config();
+        let specs = fleet(&test_profiles(), 8, &config);
+        let serial = serve_fleet_serial(&PlanCache::with_shards(1), &specs, &config).unwrap();
+        assert!(serial.total_replans > 0, "drift must trigger adaptation");
+        assert!(
+            serial.users.iter().any(|u| u.profile_version.generation > 0),
+            "some session must end on a committed generation"
+        );
+        for workers in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let cache = Arc::new(PlanCache::new());
+            let pooled = serve_fleet(&pool, &cache, &specs, &config).unwrap();
+            assert_eq!(serial, pooled, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn adaptation_dominates_frozen_planning_under_drift() {
+        let config = drift_config();
+        let specs = fleet(&test_profiles(), 8, &config);
+        let adaptive = serve_fleet_serial(&PlanCache::new(), &specs, &config).unwrap();
+        let frozen_config = ServeConfig {
+            adapt: None,
+            ..config
+        };
+        let frozen = serve_fleet_serial(&PlanCache::new(), &specs, &frozen_config).unwrap();
+        // Same fleet, same truth walks (drift streams are independent
+        // of planning), different beliefs.
+        assert_eq!(frozen.total_replans, 0);
+        assert!(
+            adaptive.total_hits >= frozen.total_hits,
+            "adaptive {} vs frozen {}",
+            adaptive.total_hits,
+            frozen.total_hits
+        );
+        let mean = |r: &ServeReport| {
+            r.users.iter().map(|u| u.mean_makespan_ms).sum::<f64>() / r.users.len() as f64
+        };
+        assert!(
+            mean(&adaptive) <= mean(&frozen) * 1.001,
+            "adaptive mean {} vs frozen mean {}",
+            mean(&adaptive),
+            mean(&frozen)
+        );
     }
 
     #[test]

@@ -106,9 +106,11 @@ use std::time::Instant;
 use mcdnn_partition::{
     joint_allocate, CutMix, JointTenant, PlanCache, PlanError, RateFrontier, RateProfile,
 };
+use mcdnn_profile::{AdaptConfig, ProfileEstimator};
 use mcdnn_rng::Rng;
 use mcdnn_runtime::WorkerPool;
 
+use crate::adapt::{DriftSpec, DriftState};
 use crate::degrade::LadderLevel;
 use crate::serve::UserSpec;
 
@@ -280,6 +282,19 @@ pub struct SloConfig {
     /// [`joint_allocate`] instead of the contention-oblivious
     /// "frontier cut + equal split". Requires `cloud_servers >= 1`.
     pub joint_alloc: bool,
+    /// Random walk on each tenant's true platform parameters. The
+    /// virtual-time scheduler executes *beliefs*, so drift influences
+    /// SLO outcomes only through adaptation: it feeds the estimator,
+    /// and without [`SloConfig::adapt`] it is a no-op.
+    pub drift: DriftSpec,
+    /// Online profile learning: `Some` observes realized per-request
+    /// timings in each tenant's stream and commits gated estimates at
+    /// deterministic `commit_every` sequence boundaries, refetching the
+    /// tenant's frontier under a bumped generation. Stream generation
+    /// stays pure per tenant, so pooled and serial runs remain
+    /// byte-equal. Adaptive regeneration is excluded from the warm
+    /// arena's no-allocation contract.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl Default for SloConfig {
@@ -294,6 +309,8 @@ impl Default for SloConfig {
             seed: 0x510_5EED,
             cloud_servers: 0,
             joint_alloc: false,
+            drift: DriftSpec::none(),
+            adapt: None,
         }
     }
 }
@@ -472,7 +489,20 @@ fn tenant_requests(
 }
 
 /// [`tenant_requests`] writing into a caller-owned buffer — the warm
-/// [`SloArena`] path regenerates streams without allocating.
+/// [`SloArena`] path regenerates streams without allocating (unless
+/// [`SloConfig::adapt`] is set; adaptive regeneration rebuilds the
+/// estimator and may refetch frontiers).
+///
+/// With adaptation on, the whole observe→commit→replan loop lives
+/// inside this pure per-tenant function: the truth walk steps once per
+/// request, the estimator observes realized stage timings against the
+/// factory profile, and at `commit_every` sequence boundaries a gated
+/// commit rebuilds the believed profile from the factory base under a
+/// bumped generation and refetches the tenant's frontier through the
+/// shared cache. `nominal_ms` / `deadline_ms` of later requests then
+/// reflect the adapted beliefs. The scheduler itself is untouched —
+/// pooled/serial byte-equality is preserved by construction. Returns
+/// the frontier the stream ended on.
 fn tenant_requests_into(
     cache: &PlanCache,
     tenant: &SloTenant,
@@ -481,7 +511,7 @@ fn tenant_requests_into(
     out: &mut Vec<SloRequest>,
 ) -> Result<Arc<RateFrontier>, AdmitError> {
     let spec = &tenant.spec;
-    let frontier = cache.frontier(
+    let mut frontier = cache.frontier(
         &spec.profile,
         spec.strategy,
         spec.n_jobs,
@@ -492,7 +522,8 @@ fn tenant_requests_into(
     let mid = (config.lo_mbps * config.hi_mbps).sqrt();
     // Calibrate arrivals so the fleet's total offered uplink occupancy
     // is `overload` × server capacity: each tenant offers occupancy at
-    // rate overload / fleet_size.
+    // rate overload / fleet_size. Always from the factory profile, so
+    // arrival processes are identical across adaptive and frozen runs.
     let mid_mix = frontier.decide_at(mid).mix;
     let u_mid = spec
         .profile
@@ -501,23 +532,34 @@ fn tenant_requests_into(
     let mean_gap = fleet_size as f64 * u_mid / config.overload;
     let mut bandwidth = config.lo_mbps * (config.hi_mbps / config.lo_mbps).powf(rng.f64());
     let mut arrival = 0.0;
+    let mut truth = config
+        .drift
+        .is_active()
+        .then(|| DriftState::new(&config.drift, spec.seed));
+    let mut adapt = config
+        .adapt
+        .map(|cfg| (cfg, ProfileEstimator::new(spec.profile.k(), spec.profile.setup_ms(), cfg)));
     out.clear();
     for seq in 0..config.requests_per_tenant {
+        if let Some(t) = truth.as_mut() {
+            t.step();
+        }
         arrival += mean_gap * (0.5 + rng.f64());
         let step = 1.0 + 0.25 * (rng.f64() * 2.0 - 1.0);
         bandwidth = (bandwidth * step).clamp(config.lo_mbps, config.hi_mbps);
         let class = config.spec.sample(&mut rng);
+        let believed = frontier.profile();
         let mix = frontier.decide_at(bandwidth).mix;
         // Nominal service is contention-free: cloud work counts at unit
         // server speed (φ = 1) when a pool exists at all, so deadlines
         // stay achievable unloaded and identical across share policies.
         let cloud_nominal = if config.cloud_servers > 0 {
-            spec.profile.mix_cloud_ms(spec.n_jobs, mix)
+            believed.mix_cloud_ms(spec.n_jobs, mix)
         } else {
             0.0
         };
-        let nominal = spec.profile.mix_mobile_ms(spec.n_jobs, mix)
-            + spec.profile.mix_upload_ms(spec.n_jobs, mix, bandwidth)
+        let nominal = believed.mix_mobile_ms(spec.n_jobs, mix)
+            + believed.mix_upload_ms(spec.n_jobs, mix, bandwidth)
             + cloud_nominal;
         let slack = config.spec.classes[class].0.slack_factor;
         out.push(SloRequest {
@@ -529,6 +571,66 @@ fn tenant_requests_into(
             nominal_ms: nominal,
             deadline_ms: arrival + slack * nominal,
         });
+        // Observe the realized stages of this request's mix against the
+        // factory profile, then commit-and-replan at deterministic
+        // sequence boundaries (mirrors the serve loop; see
+        // `UserSession::maybe_adapt`).
+        if let Some((cfg, est)) = adapt.as_mut() {
+            let base = &spec.profile;
+            let (device_scale, cloud_scale, link_scale) = truth
+                .as_ref()
+                .map_or((1.0, 1.0, 1.0), |t| (t.device_scale, t.cloud_scale, t.link_scale));
+            let b_true = bandwidth * link_scale;
+            let jitter =
+                |t: &mut Option<DriftState>| t.as_mut().map_or(1.0, |s| s.jitter_factor());
+            let (cut1, cut2) = match mix {
+                CutMix::Uniform { cut } => (cut, cut),
+                CutMix::Mix { prev, star, .. } => (prev, star),
+            };
+            let bf1 = base.mobile_ms(cut1);
+            if bf1 > 0.0 {
+                let rf1 = bf1 * device_scale * jitter(&mut truth);
+                est.observe_device(cut1, rf1 / bf1);
+            }
+            if base.bytes(cut1) > 0 {
+                let r = base.bytes(cut1) as f64 * 8.0 / (bandwidth * 1e3);
+                est.observe_upload(r, base.upload_ms_at(cut1, b_true) * jitter(&mut truth));
+            }
+            if matches!(mix, CutMix::Mix { .. }) {
+                let bf2 = base.mobile_ms(cut2);
+                if bf2 > 0.0 {
+                    let rf2 = bf2 * device_scale * jitter(&mut truth);
+                    est.observe_device(cut2, rf2 / bf2);
+                }
+                if base.bytes(cut2) > 0 {
+                    let r = base.bytes(cut2) as f64 * 8.0 / (bandwidth * 1e3);
+                    est.observe_upload(r, base.upload_ms_at(cut2, b_true) * jitter(&mut truth));
+                }
+            }
+            if config.cloud_servers > 0 && base.cloud_stage_ms(cut2) > 0.0 {
+                est.observe_cloud(cloud_scale * jitter(&mut truth));
+            }
+            if cfg.commit_every > 0 && (seq + 1).is_multiple_of(cfg.commit_every) && est.commit() {
+                mcdnn_obs::counter_add("adapt.commits", 1);
+                let rebuilt = spec
+                    .profile
+                    .reestimated(
+                        est.device_scales(),
+                        est.cloud_scale(),
+                        est.upload_scale(),
+                        est.setup_ms(),
+                    )
+                    .with_generation(est.commits());
+                frontier = cache.frontier(
+                    &rebuilt,
+                    spec.strategy,
+                    spec.n_jobs,
+                    config.lo_mbps,
+                    config.hi_mbps,
+                )?;
+                mcdnn_obs::counter_add("adapt.recompiles", 1);
+            }
+        }
     }
     Ok(frontier)
 }
@@ -1952,6 +2054,77 @@ mod tests {
                 assert_eq!(serial, pooled, "policy={policy} workers={workers}");
             }
         }
+    }
+
+    fn adapt_config() -> SloConfig {
+        SloConfig {
+            requests_per_tenant: 80,
+            cloud_servers: 2,
+            drift: DriftSpec {
+                device_walk: 0.08,
+                cloud_walk: 0.05,
+                link_walk: 0.04,
+                jitter: 0.02,
+                ..DriftSpec::none()
+            },
+            adapt: Some(AdaptConfig::default()),
+            ..SloConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_pooled_report_is_byte_equal_to_serial_at_any_width() {
+        let config = adapt_config();
+        let fleet = slo_fleet(&cloudy_profiles(), 8, &config);
+        for policy in [SloPolicy::Fifo, SloPolicy::EdfDegrade] {
+            let serial_cache = PlanCache::with_shards(1);
+            let serial = serve_slo_serial(&serial_cache, &fleet, &config, policy).unwrap();
+            for workers in [1usize, 2, 4, 8] {
+                let pool = WorkerPool::new(workers);
+                let cache = Arc::new(PlanCache::new());
+                let pooled = serve_slo(&pool, &cache, &fleet, &config, policy).unwrap();
+                assert_eq!(serial, pooled, "policy={policy} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_drift_adaptation_leaves_the_schedule_byte_identical() {
+        let mut config = test_config();
+        let fleet = slo_fleet(&test_profiles(), 6, &config);
+        let off = serve_slo_serial(&PlanCache::new(), &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        config.adapt = Some(AdaptConfig::default());
+        let on = serve_slo_serial(&PlanCache::new(), &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        assert_eq!(off, on, "ratios of exactly 1.0 never cross the commit gate");
+    }
+
+    #[test]
+    fn drift_reaches_the_schedule_only_through_adaptation() {
+        let config = adapt_config();
+        let fleet = slo_fleet(&cloudy_profiles(), 6, &config);
+        let adaptive =
+            serve_slo_serial(&PlanCache::new(), &fleet, &config, SloPolicy::EdfDegrade).unwrap();
+        let frozen_config = SloConfig {
+            adapt: None,
+            ..config.clone()
+        };
+        let frozen =
+            serve_slo_serial(&PlanCache::new(), &fleet, &frozen_config, SloPolicy::EdfDegrade)
+                .unwrap();
+        // Without adaptation drift is invisible to the virtual-time
+        // scheduler (it executes beliefs)...
+        let no_drift = SloConfig {
+            drift: DriftSpec::none(),
+            ..frozen_config
+        };
+        let believed =
+            serve_slo_serial(&PlanCache::new(), &fleet, &no_drift, SloPolicy::EdfDegrade).unwrap();
+        assert_eq!(frozen, believed, "drift without adaptation is a no-op");
+        // ...while adaptive commits re-shape nominal times and deadlines.
+        assert_ne!(
+            adaptive.digest, frozen.digest,
+            "gated commits must reach the schedule"
+        );
     }
 
     #[test]

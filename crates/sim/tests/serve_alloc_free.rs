@@ -15,7 +15,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mcdnn_partition::{PlanCache, RateProfile};
-use mcdnn_sim::{fleet, ServeConfig, UserSession};
+use mcdnn_profile::AdaptConfig;
+use mcdnn_sim::{fleet, DriftSpec, ServeConfig, UserSession};
 
 struct CountingAlloc;
 
@@ -94,4 +95,64 @@ fn warm_session_admits_bursts_without_allocating() {
     });
     let allocs = worker.join().expect("worker thread");
     assert_eq!(allocs, 0, "warm admit_burst must not allocate");
+}
+
+#[test]
+fn adaptive_observe_path_is_alloc_free_between_commits() {
+    let profiles = vec![RateProfile::from_parts(
+        "serve-alloc-adapt",
+        vec![0.0, 4.0, 7.0, 20.0],
+        vec![120_000, 60_000, 20_000, 0],
+        2.0,
+        None,
+    )
+    .unwrap()];
+    let config = ServeConfig {
+        bursts_per_user: 0, // driven by hand below
+        degrade_prob: 0.2,
+        fault_every: 0,
+        drift: DriftSpec {
+            device_walk: 0.05,
+            link_walk: 0.03,
+            jitter: 0.02,
+            ..DriftSpec::none()
+        },
+        // An uncrossable gate pins the estimator in its steady state:
+        // every burst observes (EWMA folds, ring writes, window refits
+        // at each boundary) but no commit — and hence no replan — can
+        // fire inside the measured window.
+        adapt: Some(AdaptConfig {
+            window: 32,
+            gate: 1e12,
+            ..AdaptConfig::default()
+        }),
+        ..ServeConfig::default()
+    };
+    let specs = fleet(&profiles, 1, &config);
+
+    let worker = std::thread::spawn(move || {
+        let cache = PlanCache::new();
+        mcdnn_obs::set_enabled(true);
+        let mut session = UserSession::start(&cache, &specs[0], &config).unwrap();
+        // Warm-up: fill the regression window (uploads are observed on
+        // most bursts) and settle the arena and cache memo.
+        for _ in 0..96 {
+            session.admit_burst();
+            session.maybe_adapt(&cache).unwrap();
+        }
+        mcdnn_obs::set_enabled(false);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..200 {
+            session.admit_burst();
+            session.maybe_adapt(&cache).unwrap();
+        }
+        let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        mcdnn_obs::set_enabled(true);
+        delta
+    });
+    let allocs = worker.join().expect("worker thread");
+    assert_eq!(
+        allocs, 0,
+        "drift-adaptive observe path must not allocate between commits"
+    );
 }
